@@ -1,0 +1,6 @@
+"""Benchmark bootstrap: make ``src/`` importable without installation."""
+
+import os
+import sys
+
+sys.path.insert(0, os.path.join(os.path.dirname(__file__), "..", "src"))

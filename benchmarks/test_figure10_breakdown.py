@@ -1,0 +1,33 @@
+"""Bench: regenerate Figure 10 (area and energy breakdown).
+
+Targets (paper): area 65% CMem / 11% core / 10% on-chip memory / 9% NoC /
+5% LLC on a 28 mm^2 chip; energy 71% DRAM, 11% CMem, 11% NoC.
+"""
+
+import pytest
+
+from repro.experiments import figure10
+
+
+@pytest.fixture(scope="module")
+def result():
+    return figure10.run()
+
+
+def test_figure10_regeneration(benchmark, result):
+    benchmark.pedantic(lambda: result, rounds=1, iterations=1)
+    rows = {row["block"]: row for row in result.rows}
+
+    assert rows["cmem"]["area_fraction"] == pytest.approx(0.65, abs=0.03)
+    assert rows["core"]["area_fraction"] == pytest.approx(0.11, abs=0.02)
+    assert rows["local_mem"]["area_fraction"] == pytest.approx(0.10, abs=0.02)
+    assert rows["noc"]["area_fraction"] == pytest.approx(0.09, abs=0.02)
+    assert rows["llc"]["area_fraction"] == pytest.approx(0.05, abs=0.02)
+
+    assert rows["dram"]["energy_fraction"] == pytest.approx(0.71, abs=0.08)
+    assert rows["cmem"]["energy_fraction"] == pytest.approx(0.11, abs=0.05)
+    assert rows["noc"]["energy_fraction"] == pytest.approx(0.11, abs=0.05)
+
+
+def test_total_area_28mm2(result):
+    assert result.raw["area"].total == pytest.approx(28.0, rel=0.05)

@@ -1,0 +1,39 @@
+"""Bench: regenerate Figure 9 (layer-9 per-iteration cycle breakdown).
+
+Shape targets (Sec. 6.2): cycles to send ifmap vectors are stable across
+strategies; compute scales inversely with allocated nodes; waiting for
+ifmap vectors dominates under the greedy strategy.
+"""
+
+import pytest
+
+from repro.experiments import figure9
+
+
+@pytest.fixture(scope="module")
+def result():
+    return figure9.run()
+
+
+def test_figure9_regeneration(benchmark, result):
+    benchmark.pedantic(lambda: result, rounds=1, iterations=1)
+    rows = {row["strategy"]: row for row in result.rows}
+
+    # Send-ifmap cost is a property of the vector, not the mapping.
+    sends = [rows[s]["send_ifmap"] for s in rows]
+    assert max(sends) == min(sends)
+
+    # Compute is inversely proportional to nodes (greedy has the fewest).
+    assert rows["greedy"]["nodes"] < rows["heuristic"]["nodes"]
+    assert rows["greedy"]["compute"] > rows["heuristic"]["compute"]
+
+    # Waiting dominates greedy's iteration.
+    greedy = rows["greedy"]
+    assert greedy["wait_ifmap"] > greedy["compute"]
+    assert greedy["wait_ifmap"] > rows["heuristic"]["wait_ifmap"]
+
+
+def test_all_strategies_present(result):
+    assert {row["strategy"] for row in result.rows} == {
+        "single-layer", "greedy", "heuristic",
+    }

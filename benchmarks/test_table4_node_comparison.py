@@ -1,0 +1,40 @@
+"""Bench: regenerate Table 4 (node comparison) and assert its shape.
+
+Paper row targets: MAICC node 59141 cycles / 3.96e-6 J; Neural Cache
+136416 / 4.03e-6; scalar core 1.24e7 / 1.03e-4; MAICC ~2.3x faster than
+Neural Cache with half its memory.
+"""
+
+import pytest
+
+from repro.experiments import table4
+
+
+@pytest.fixture(scope="module")
+def result(benchmark_holder={}):
+    return table4.run()
+
+
+def test_table4_regeneration(benchmark):
+    result = benchmark.pedantic(table4.run, rounds=1, iterations=1)
+    maicc = result.row_by("node", "MAICC node")
+    cache = result.row_by("node", "Neural Cache")
+    scalar = result.row_by("node", "Scalar core")
+
+    # Who wins, by roughly what factor.
+    assert 1.8 < cache["cycles"] / maicc["cycles"] < 4.5        # paper 2.3x
+    assert scalar["cycles"] / maicc["cycles"] > 100             # paper ~210x
+    assert maicc["energy_j"] < cache["energy_j"]
+    assert maicc["memory_kb"] == cache["memory_kb"] // 2
+
+    # Calibrated baselines stay pinned to the paper's numbers.
+    assert cache["cycles"] == pytest.approx(136416, rel=0.05)
+    assert scalar["cycles"] == pytest.approx(1.24e7, rel=0.1)
+
+
+def test_maicc_node_bit_true(benchmark):
+    """The benchmarked node run is checked against NumPy inside run()."""
+    result = benchmark.pedantic(
+        lambda: table4.run(check=True), rounds=1, iterations=1
+    )
+    assert result.raw["maicc"].stats.cycles > 0

@@ -1,0 +1,36 @@
+"""Bench: regenerate Table 7 (overall performance vs CPU and GPU).
+
+Shape targets (paper): MAICC ~4.3x CPU throughput, ~31.6x CPU efficiency,
+~0.2x GPU throughput, ~1.8x GPU efficiency; ~195 samples/s at ~25 W.
+"""
+
+import pytest
+
+from repro.experiments import table7
+
+
+@pytest.fixture(scope="module")
+def result():
+    return table7.run()
+
+
+def test_table7_regeneration(benchmark, result):
+    benchmark.pedantic(lambda: result, rounds=1, iterations=1)
+    by = {row["platform"]: row for row in result.rows}
+    maicc = by["MAICC (210 cores)"]
+    cpu = by["Intel i9-13900K"]
+    gpu = by["NVIDIA RTX 4090"]
+
+    assert 3.0 < maicc["throughput"] / cpu["throughput"] < 6.0      # 4.3x
+    assert 20 < maicc["thr_per_w"] / cpu["thr_per_w"] < 45          # 31.6x
+    assert 0.1 < maicc["throughput"] / gpu["throughput"] < 0.35     # 0.20x
+    assert 1.2 < maicc["thr_per_w"] / gpu["thr_per_w"] < 2.6        # 1.8x
+
+    assert maicc["latency_ms"] == pytest.approx(5.13, rel=0.25)
+    assert maicc["power_w"] == pytest.approx(24.67, rel=0.15)
+
+
+def test_neural_cache_efficiency_comparison(result):
+    """Sec. 6.3: MAICC 50.03 GFLOPS/W vs Neural Cache 22.90 (DRAM excluded)."""
+    maicc = result.raw["maicc"]
+    assert maicc.gops_per_watt(include_dram=False) > 22.90

@@ -1,0 +1,13 @@
+"""Pytest bootstrap: make ``src/`` importable without installation and
+register shared markers/fixtures."""
+
+import os
+import sys
+
+sys.path.insert(0, os.path.join(os.path.dirname(__file__), "src"))
+
+
+def pytest_configure(config):
+    config.addinivalue_line(
+        "markers", "slow: long-running simulation tests (deselect with -m 'not slow')"
+    )

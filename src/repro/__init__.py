@@ -1,0 +1,81 @@
+"""MAICC reproduction: a lightweight many-core with in-cache computing.
+
+A full-system Python reproduction of *MAICC: A Lightweight Many-core
+Architecture with In-Cache Computing for Multi-DNN Parallel Inference*
+(Fan et al., MICRO 2023): bit-true computing-memory (CMem) arrays, a
+cycle-level RV32IMA pipeline with the CMem ISA extension, mesh NoC, DRAM
+and LLC models, an int8 DNN substrate, the layer segmentation / mapping
+execution framework, and drivers regenerating every table and figure of
+the paper's evaluation.
+
+Quickstart::
+
+    from repro import ChipSimulator, resnet18_spec
+    result = ChipSimulator().run(resnet18_spec(), "heuristic")
+    print(result.latency_ms, result.throughput_per_watt)
+"""
+
+from repro.cmem import CMem, CMemConfig
+from repro.core import (
+    ChipConfig,
+    ChipSimulator,
+    MAICCChip,
+    MAICCNode,
+    MultiDNNScheduler,
+    PerformanceModel,
+    SegmentSimulator,
+    TimingParams,
+    simulate_quantized_graph,
+    static_schedule,
+    table4_workload,
+)
+from repro.energy import ChipConstants, area_breakdown
+from repro.mapping import (
+    CapacityModel,
+    GreedyStrategy,
+    HeuristicStrategy,
+    SingleLayerStrategy,
+)
+from repro.nn import (
+    build_resnet18,
+    build_small_cnn,
+    quantize_graph,
+    resnet18_spec,
+    run_quantized,
+)
+from repro.riscv import Core, CoreConfig, Pipeline, PipelineConfig, assemble
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "CMem",
+    "CMemConfig",
+    "ChipConfig",
+    "ChipSimulator",
+    "MAICCChip",
+    "MAICCNode",
+    "MultiDNNScheduler",
+    "PerformanceModel",
+    "SegmentSimulator",
+    "TimingParams",
+    "simulate_quantized_graph",
+    "static_schedule",
+    "table4_workload",
+    "ChipConstants",
+    "area_breakdown",
+    "CapacityModel",
+    "GreedyStrategy",
+    "HeuristicStrategy",
+    "SingleLayerStrategy",
+    "build_resnet18",
+    "build_small_cnn",
+    "quantize_graph",
+    "resnet18_spec",
+    "run_quantized",
+    "Core",
+    "CoreConfig",
+    "Pipeline",
+    "PipelineConfig",
+    "assemble",
+    "__version__",
+]

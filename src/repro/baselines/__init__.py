@@ -1,0 +1,15 @@
+"""Comparison baselines: scalar core, Neural Cache, CPU and GPU models."""
+
+from repro.baselines.scalar_core import ScalarConvBaseline, ScalarResult
+from repro.baselines.neural_cache import NeuralCacheModel, NeuralCacheResult
+from repro.baselines.cpu_gpu import CPU_I9_13900K, GPU_RTX_4090, PlatformModel
+
+__all__ = [
+    "ScalarConvBaseline",
+    "ScalarResult",
+    "NeuralCacheModel",
+    "NeuralCacheResult",
+    "CPU_I9_13900K",
+    "GPU_RTX_4090",
+    "PlatformModel",
+]

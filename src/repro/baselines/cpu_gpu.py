@@ -1,0 +1,76 @@
+"""Analytic CPU and GPU baselines for Table 7.
+
+We cannot run an Intel i9-13900K or an RTX 4090 (the paper measures them
+with PyTorch + RAPL / nvidia-smi), so each platform is a roofline-style
+model built from its Table 3 specification: peak throughput = cores x
+frequency x SIMD width x 2 (FMA), derated by a batch-1 inference
+efficiency calibrated once against the paper's measured ResNet18 latency.
+Measured power comes from the paper (it is a property of the silicon, not
+of the workload model).  The calibration targets are kept alongside so
+benches can report paper-vs-model for any workload.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.nn.workloads import NetworkSpec
+
+
+@dataclass(frozen=True)
+class PlatformModel:
+    """A roofline-with-derating platform model."""
+
+    name: str
+    cores: int
+    frequency_ghz: float
+    simd_lanes: int
+    batch1_efficiency: float
+    measured_power_w: float
+    technology_nm: int
+    paper_resnet18_latency_ms: float
+
+    @property
+    def peak_gflops(self) -> float:
+        return self.cores * self.frequency_ghz * self.simd_lanes * 2.0
+
+    @property
+    def effective_gflops(self) -> float:
+        return self.peak_gflops * self.batch1_efficiency
+
+    def latency_ms(self, network: NetworkSpec) -> float:
+        """Batch-1 inference latency of one network."""
+        flops = 2.0 * network.total_macs
+        return flops / (self.effective_gflops * 1e9) * 1e3
+
+    def throughput_samples_s(self, network: NetworkSpec) -> float:
+        return 1000.0 / self.latency_ms(network)
+
+    def throughput_per_watt(self, network: NetworkSpec) -> float:
+        return self.throughput_samples_s(network) / self.measured_power_w
+
+
+# Calibrated on the paper's Table 7 ResNet18 measurements (22.3 ms on the
+# CPU, 1.02 ms on the GPU, unquantized FP32, batch 1).  ResNet18 from the
+# 224x224 stem is ~1.814 GMACs -> 3.63 GFLOPs.
+CPU_I9_13900K = PlatformModel(
+    name="Intel i9-13900K",
+    cores=24,
+    frequency_ghz=3.0,
+    simd_lanes=8,  # AVX2 fp32
+    batch1_efficiency=0.1413,
+    measured_power_w=176.4,
+    technology_nm=10,
+    paper_resnet18_latency_ms=22.3,
+)
+
+GPU_RTX_4090 = PlatformModel(
+    name="NVIDIA RTX 4090",
+    cores=16384,
+    frequency_ghz=2.235,
+    simd_lanes=1,  # per-CUDA-core fp32 lane
+    batch1_efficiency=0.0486,
+    measured_power_w=228.6,
+    technology_nm=5,
+    paper_resnet18_latency_ms=1.02,
+)

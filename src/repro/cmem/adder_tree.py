@@ -1,0 +1,87 @@
+"""Peripheral compute logic of slices 1-7: adder tree + shift-accumulator.
+
+Fig. 4(b) / Fig. 8 of the paper: after a dual-row activation the 256 sensed
+AND bits feed a 256-input adder tree whose population count is shifted by
+``i + j`` (the bit positions of the two activated rows) and accumulated
+into the ``Res`` register.  These three steps are pipelined, so a full
+``n``-bit MAC costs about ``n^2`` cycles.
+
+Signed arithmetic: with two's-complement operands the weight of bit
+position ``n-1`` is negative, so a partial product where exactly one of
+``i, j`` is the sign position is *subtracted* rather than added.  The
+shift-accumulator implements this with an add/sub control line — a single
+extra gate, consistent with the paper's "negligible peripheral logic"
+budget.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.errors import CMemError
+from repro.utils.bitops import popcount
+
+
+@dataclass
+class AdderTree:
+    """A ``width``-input population-count tree with a 32-bit-lane mask.
+
+    The mask models the per-slice CSR (Sec. 3.3): 8 bits, each enabling one
+    group of 32 bit-lines.  Channel counts in CONV layers are mostly
+    multiples of 32, hence the granularity.
+    """
+
+    width: int = 256
+    lane_width: int = 32
+
+    def __post_init__(self) -> None:
+        if self.width % self.lane_width:
+            raise CMemError(
+                f"adder tree width {self.width} not a multiple of lane width "
+                f"{self.lane_width}"
+            )
+
+    @property
+    def num_lanes(self) -> int:
+        return self.width // self.lane_width
+
+    def lane_mask_bits(self, mask: int) -> np.ndarray:
+        """Expand an 8-bit CSR mask to a per-bit-line 0/1 vector."""
+        if not 0 <= mask < (1 << self.num_lanes):
+            raise CMemError(
+                f"CSR mask {mask:#x} out of range for {self.num_lanes} lanes"
+            )
+        lanes = np.array(
+            [(mask >> lane) & 1 for lane in range(self.num_lanes)], dtype=np.uint8
+        )
+        return np.repeat(lanes, self.lane_width)
+
+    def popcount(self, bits: np.ndarray, mask: int = 0xFF) -> int:
+        """Sum the masked AND bits (step 2 of the MAC pipeline)."""
+        bits = np.asarray(bits, dtype=np.uint8)
+        if bits.shape != (self.width,):
+            raise CMemError(
+                f"adder tree expects {self.width} bits, got shape {bits.shape}"
+            )
+        return popcount(bits & self.lane_mask_bits(mask))
+
+
+@dataclass
+class ShiftAccumulator:
+    """The ``Res`` register: shift partial sums by ``i + j`` and accumulate."""
+
+    value: int = 0
+    adds: int = field(default=0)
+
+    def clear(self) -> None:
+        self.value = 0
+
+    def accumulate(self, partial: int, shift: int, *, negative: bool = False) -> None:
+        """Fold one partial popcount: ``Res += (+-partial) << shift``."""
+        if shift < 0:
+            raise CMemError(f"negative shift {shift}")
+        contribution = partial << shift
+        self.value += -contribution if negative else contribution
+        self.adds += 1

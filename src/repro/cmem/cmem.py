@@ -1,0 +1,253 @@
+"""The computing memory device: slices + MAC primitive + accounting.
+
+Functional semantics are bit-true: ``mac`` really activates row pairs of
+the underlying SRAM arrays, pops the AND bits through the adder tree, and
+folds sign-weighted partial sums — so every result is checkable against a
+NumPy dot product.  Cycle and energy costs follow Table 2 and Sec. 5.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+from repro.errors import CMemError, ConfigurationError, SliceIndexError
+from repro.cmem.adder_tree import AdderTree, ShiftAccumulator
+from repro.cmem.isa import CMemOp, cmem_op_cycles
+from repro.cmem.slice import CMemSlice, TransposeBuffer
+from repro.sram.energy import EnergyAccumulator, SRAMEnergy
+from repro.utils.bitops import pack_transposed, unpack_transposed
+
+
+@dataclass(frozen=True)
+class CMemConfig:
+    """Geometry and behaviour knobs of one CMem.
+
+    The paper's design point is eight 2 KB slices (64 x 256); ``num_slices``
+    is exposed for the slicing ablation of Sec. 3.2 (more slices = more
+    parallelism but more inter-slice data movement).
+    """
+
+    num_slices: int = 8
+    rows: int = 64
+    cols: int = 256
+
+    def __post_init__(self) -> None:
+        if self.num_slices < 2:
+            raise ConfigurationError(
+                "CMem needs at least one transpose slice and one compute slice"
+            )
+        if self.rows != CMemSlice.ROWS or self.cols != CMemSlice.COLS:
+            # The slice model is fixed at 64 x 256 (2 KB); other geometries
+            # are modeled analytically in the ablation benches.
+            raise ConfigurationError(
+                "bit-true CMem slices are fixed at 64 rows x 256 cols"
+            )
+
+    @property
+    def num_compute_slices(self) -> int:
+        return self.num_slices - 1
+
+    @property
+    def capacity_bytes(self) -> int:
+        return self.num_slices * self.rows * self.cols // 8
+
+
+@dataclass
+class CMemStats:
+    """Operation and cycle tally of one CMem."""
+
+    macs: int = 0
+    moves: int = 0
+    set_rows: int = 0
+    shift_rows: int = 0
+    remote_rows: int = 0
+    vertical_writes: int = 0
+    busy_cycles: int = 0
+
+    def charge(self, op: CMemOp, cycles: int) -> None:
+        self.busy_cycles += cycles
+        if op is CMemOp.MAC_C:
+            self.macs += 1
+        elif op is CMemOp.MOVE_C:
+            self.moves += 1
+        elif op is CMemOp.SETROW_C:
+            self.set_rows += 1
+        elif op is CMemOp.SHIFTROW_C:
+            self.shift_rows += 1
+        else:
+            self.remote_rows += 1
+
+
+class CMem:
+    """One node's computing memory: slice 0 + compute slices 1..S-1."""
+
+    def __init__(
+        self,
+        config: CMemConfig = CMemConfig(),
+        energy: Optional[SRAMEnergy] = None,
+    ) -> None:
+        self.config = config
+        self.slice0 = TransposeBuffer()
+        self.compute_slices: List[CMemSlice] = [
+            CMemSlice(index=i) for i in range(1, config.num_slices)
+        ]
+        self.adder_tree = AdderTree(width=config.cols)
+        self.accumulator = ShiftAccumulator()
+        self.stats = CMemStats()
+        self.energy = EnergyAccumulator(energy=energy or SRAMEnergy())
+
+    # -- slice addressing -----------------------------------------------------
+
+    def slice(self, index: int) -> CMemSlice:
+        """Slice by global index; 0 is the transpose buffer."""
+        if index == 0:
+            return self.slice0
+        if not 1 <= index < self.config.num_slices:
+            raise SliceIndexError(
+                f"slice {index} out of range [0, {self.config.num_slices})"
+            )
+        return self.compute_slices[index - 1]
+
+    # -- extended ISA semantics (Table 2) --------------------------------------
+
+    def mac(
+        self,
+        slice_index: int,
+        row_a: int,
+        row_b: int,
+        n_bits: int,
+        *,
+        signed: bool = True,
+        mask: Optional[int] = None,
+    ) -> int:
+        """MAC.C: dot product of two transposed n-bit vectors in one slice.
+
+        The vectors occupy rows ``[row_a, row_a + n_bits)`` and
+        ``[row_b, row_b + n_bits)`` (LSB first).  For every bit pair
+        ``(i, j)`` the slice activates both rows, the adder tree pops the
+        masked AND bits, and the shift-accumulator folds
+        ``popcount << (i + j)`` — subtracting when exactly one of the
+        positions is the sign bit (two's complement).  Returns the scalar
+        written back to a core register.
+        """
+        sl = self.slice(slice_index)
+        if slice_index == 0:
+            raise CMemError("slice 0 is the transpose buffer; MAC runs in slices 1+")
+        if mask is None:
+            mask = sl.csr_mask
+        if row_a + n_bits > sl.ROWS or row_b + n_bits > sl.ROWS:
+            raise CMemError("MAC operand rows exceed the slice")
+        ranges_overlap = not (row_a + n_bits <= row_b or row_b + n_bits <= row_a)
+        if ranges_overlap:
+            raise CMemError("MAC operand row ranges overlap")
+        self.accumulator.clear()
+        sign_pos = n_bits - 1
+        for i in range(n_bits):
+            for j in range(n_bits):
+                sensed = sl.activate_pair(row_a + i, row_b + j)
+                partial = self.adder_tree.popcount(sensed.and_bits, mask)
+                negative = signed and ((i == sign_pos) != (j == sign_pos))
+                self.accumulator.accumulate(partial, i + j, negative=negative)
+        cycles = cmem_op_cycles(CMemOp.MAC_C, n_bits)
+        self.stats.charge(CMemOp.MAC_C, cycles)
+        self.energy.charge("mac")
+        return self.accumulator.value
+
+    def move(
+        self,
+        src_slice: int,
+        src_row: int,
+        dst_slice: int,
+        dst_row: int,
+        n_bits: int,
+    ) -> None:
+        """Move.C: copy an n-bit transposed vector between slices."""
+        src = self.slice(src_slice)
+        dst = self.slice(dst_slice)
+        if src_row + n_bits > src.ROWS or dst_row + n_bits > dst.ROWS:
+            raise CMemError("Move.C rows exceed the slice")
+        for k in range(n_bits):
+            dst.write_row(dst_row + k, src.read_row(src_row + k))
+        self.stats.charge(CMemOp.MOVE_C, cmem_op_cycles(CMemOp.MOVE_C, n_bits))
+        self.energy.charge("move")
+
+    def set_row(self, slice_index: int, row: int, value: int) -> None:
+        """SetRow.C: clear or fill one row."""
+        self.slice(slice_index).set_row(row, value)
+        self.stats.charge(CMemOp.SETROW_C, cmem_op_cycles(CMemOp.SETROW_C))
+        self.energy.charge("write_row")
+
+    def shift_row(self, slice_index: int, row: int, words: int) -> None:
+        """ShiftRow.C: align one row by 32-bit steps."""
+        self.slice(slice_index).shift_row(row, words)
+        self.stats.charge(CMemOp.SHIFTROW_C, cmem_op_cycles(CMemOp.SHIFTROW_C))
+        self.energy.charge("read_row")
+        self.energy.charge("write_row")
+
+    def read_row(self, slice_index: int, row: int) -> np.ndarray:
+        """Row readout used by StoreRow.RC (the NoC carries the 256 bits)."""
+        bits = self.slice(slice_index).read_row(row)
+        self.stats.charge(CMemOp.STOREROW_RC, cmem_op_cycles(CMemOp.STOREROW_RC))
+        self.energy.charge("remote_row")
+        return bits
+
+    def write_row(self, slice_index: int, row: int, bits: Sequence[int]) -> None:
+        """Row write used by LoadRow.RC (receiving a remote row)."""
+        self.slice(slice_index).write_row(row, bits)
+        self.stats.charge(CMemOp.LOADROW_RC, cmem_op_cycles(CMemOp.LOADROW_RC))
+        self.energy.charge("remote_row")
+
+    # -- data staging helpers ----------------------------------------------------
+
+    def store_vector_transposed(
+        self,
+        slice_index: int,
+        base_row: int,
+        values: Sequence[int],
+        n_bits: int,
+        *,
+        signed: bool = True,
+        col_offset: int = 0,
+    ) -> None:
+        """Place a vector transposed at ``base_row`` of a slice.
+
+        This is the test/staging shortcut for what the hardware does with a
+        vertical-write stream through slice 0 followed by ``Move.C``; it
+        charges vertical-write energy accordingly.
+        """
+        sl = self.slice(slice_index)
+        values = np.asarray(values, dtype=np.int64)
+        if base_row + n_bits > sl.ROWS:
+            raise CMemError("transposed store exceeds the slice rows")
+        if col_offset + len(values) > sl.COLS:
+            raise CMemError("transposed store exceeds the slice columns")
+        bits = pack_transposed(values, n_bits, len(values), signed=signed)
+        for k in range(n_bits):
+            row_bits = sl.read_row(base_row + k)
+            row_bits[col_offset : col_offset + len(values)] = bits[k]
+            sl.write_row(base_row + k, row_bits)
+        self.stats.vertical_writes += len(values)
+        self.energy.charge("vertical_write", len(values))
+
+    def load_vector_transposed(
+        self,
+        slice_index: int,
+        base_row: int,
+        n_elements: int,
+        n_bits: int,
+        *,
+        signed: bool = True,
+        col_offset: int = 0,
+    ) -> np.ndarray:
+        """Read a transposed vector back as integers (testing helper)."""
+        sl = self.slice(slice_index)
+        bits = np.stack(
+            [
+                sl.read_row(base_row + k)[col_offset : col_offset + n_elements]
+                for k in range(n_bits)
+            ]
+        )
+        return unpack_transposed(bits, n_elements, signed=signed)

@@ -1,0 +1,163 @@
+"""CMem slices: row-indexed compute slices and the dual-addressed slice 0.
+
+Slice geometry (Sec. 3.2): 64 rows x 256 columns = 2 KB.  A slice holds
+eight 8-bit or four 16-bit transposed vectors.
+
+Slice 0 ("TransposeBuffer") is built from 8T cells and is *vertically*
+byte-addressable (Fig. 5): byte address ``a`` (0..2047) maps to row group
+``a // 256`` and bit-line ``a % 256``, with bit ``i`` of the byte stored at
+row ``8 * (a // 256) + i``.  Streaming a 256-element int8 vector through
+plain ``store`` instructions therefore lands it already transposed in one
+row group, ready to be read out row-wise by ``Move.C``.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from repro.errors import CMemError, RowIndexError
+from repro.sram.array import SRAMArray, SRAMArrayConfig
+
+
+class CMemSlice:
+    """One 64 x 256 compute slice, accessible only by row index."""
+
+    ROWS = 64
+    COLS = 256
+
+    def __init__(self, index: int, *, eight_transistor: bool = False) -> None:
+        self.index = index
+        self.array = SRAMArray(
+            SRAMArrayConfig(
+                rows=self.ROWS, cols=self.COLS, eight_transistor=eight_transistor
+            )
+        )
+        # Per-slice CSR: 8 mask bits, each enabling 32 bit-lines (Sec. 3.3).
+        self.csr_mask = 0xFF
+
+    def _check_row(self, row: int) -> None:
+        if not 0 <= row < self.ROWS:
+            raise RowIndexError(
+                f"slice {self.index}: row {row} out of range [0, {self.ROWS})"
+            )
+
+    def read_row(self, row: int) -> np.ndarray:
+        self._check_row(row)
+        return self.array.read_row(row)
+
+    def write_row(self, row: int, bits: Sequence[int]) -> None:
+        self._check_row(row)
+        self.array.write_row(row, bits)
+
+    def set_row(self, row: int, value: int) -> None:
+        """SetRow.C: drive one full row to all-zeros or all-ones."""
+        if value not in (0, 1):
+            raise CMemError(f"SetRow.C value must be 0 or 1, got {value}")
+        self._check_row(row)
+        self.array.write_row(row, np.full(self.COLS, value, dtype=np.uint8))
+
+    def shift_row(self, row: int, words: int) -> None:
+        """ShiftRow.C: rotate one row by ``words`` 32-bit groups.
+
+        Positive ``words`` shifts toward higher bit-line indices; vacated
+        lanes fill with zeros (the paper uses it for vector alignment when
+        packing sub-256-channel vectors, together with CSR masking).
+        """
+        self._check_row(row)
+        if words == 0:
+            return
+        shift_bits = words * 32
+        if abs(shift_bits) >= self.COLS:
+            raise CMemError(
+                f"ShiftRow.C by {words} words exceeds the {self.COLS}-bit row"
+            )
+        bits = self.array.read_row(row)
+        out = np.zeros_like(bits)
+        if shift_bits > 0:
+            out[shift_bits:] = bits[: self.COLS - shift_bits]
+        else:
+            out[: self.COLS + shift_bits] = bits[-shift_bits:]
+        self.array.write_row(row, out)
+
+    def activate_pair(self, row_a: int, row_b: int):
+        self._check_row(row_a)
+        self._check_row(row_b)
+        return self.array.activate_pair(row_a, row_b)
+
+
+class TransposeBuffer(CMemSlice):
+    """Slice 0: dual-addressed (byte-vertical + row) cache/transpose buffer."""
+
+    BYTES = CMemSlice.ROWS * CMemSlice.COLS // 8  # 2048
+
+    def __init__(self) -> None:
+        super().__init__(index=0, eight_transistor=True)
+
+    def _locate(self, addr: int) -> tuple[int, int]:
+        if not 0 <= addr < self.BYTES:
+            raise CMemError(
+                f"slice-0 byte address {addr} out of range [0, {self.BYTES})"
+            )
+        group = addr // self.COLS
+        column = addr % self.COLS
+        return group, column
+
+    def store_byte(self, addr: int, value: int) -> None:
+        """Vertical byte store: bit ``i`` goes to row ``8*group + i``."""
+        if not 0 <= value < 256:
+            raise CMemError(f"byte value {value} out of range")
+        group, column = self._locate(addr)
+        for i in range(8):
+            self.array.write_bits(8 * group + i, column, [(value >> i) & 1])
+
+    def load_byte(self, addr: int) -> int:
+        """Vertical byte load, inverse of :meth:`store_byte`."""
+        group, column = self._locate(addr)
+        value = 0
+        for i in range(8):
+            value |= int(self.array.read_bits(8 * group + i, column, 1)[0]) << i
+        return value
+
+    def store_vector(self, group: int, values: Sequence[int], n_bits: int = 8) -> None:
+        """Store a whole vector vertically into row groups starting at ``group``.
+
+        Elements are written one per bit-line; ``n_bits`` of 16 uses two
+        adjacent 8-row groups per element (the software layout the paper
+        describes for 16-bit data).
+        """
+        if n_bits % 8:
+            raise CMemError(f"vertical stores are byte-granular, got {n_bits} bits")
+        values = list(values)
+        if len(values) > self.COLS:
+            raise CMemError(
+                f"vector of {len(values)} elements exceeds {self.COLS} bit-lines"
+            )
+        n_groups = n_bits // 8
+        if not 0 <= group <= self.ROWS // 8 - n_groups:
+            raise CMemError(f"row group {group} out of range for {n_bits}-bit store")
+        mask = (1 << n_bits) - 1
+        for column, value in enumerate(values):
+            encoded = value & mask
+            for g in range(n_groups):
+                byte = (encoded >> (8 * g)) & 0xFF
+                self.store_byte((group + g) * self.COLS + column, byte)
+
+    def load_vector(
+        self, group: int, n_elements: int, n_bits: int = 8, *, signed: bool = False
+    ) -> np.ndarray:
+        """Read a vertically stored vector back as integers."""
+        if n_bits % 8:
+            raise CMemError(f"vertical loads are byte-granular, got {n_bits} bits")
+        n_groups = n_bits // 8
+        out = np.zeros(n_elements, dtype=np.int64)
+        for column in range(n_elements):
+            value = 0
+            for g in range(n_groups):
+                value |= self.load_byte((group + g) * self.COLS + column) << (8 * g)
+            out[column] = value
+        if signed:
+            sign = 1 << (n_bits - 1)
+            out = np.where(out & sign, out - (1 << n_bits), out)
+        return out

@@ -1,0 +1,78 @@
+"""MAICC proper: node architecture, kernels, streaming execution, chip.
+
+This package is the paper's primary contribution:
+
+* :mod:`repro.core.datalayout` — filter/ifmap placement inside the CMem
+  (Fig. 6);
+* :mod:`repro.core.conv_kernel` — the Algorithm-1 code generator emitting
+  real (simulator) assembly for one computing core;
+* :mod:`repro.core.scheduler` — compile-time (static) instruction
+  reordering that fills CMem delay slots (Sec. 3.3);
+* :mod:`repro.core.node` — a single MAICC node: core + CMem + kernels;
+* :mod:`repro.core.functional` — bit-true / fast-functional multi-node
+  execution of whole layers and networks (the correctness path);
+* :mod:`repro.core.perfmodel` — the Eq. (1) timing model;
+* :mod:`repro.core.streaming` — iteration-granularity simulation of node
+  groups (pipeline fill, waiting, Fig. 9 breakdowns);
+* :mod:`repro.core.chip` / :mod:`repro.core.simulator` — whole-chip runs;
+* :mod:`repro.core.multi_dnn` — spatial multi-DNN parallel inference.
+"""
+
+from repro.core.datalayout import NodeLayout, plan_node_layout
+from repro.core.perfmodel import (
+    DCTiming,
+    IterationTiming,
+    LayerTiming,
+    PerformanceModel,
+    TimingParams,
+)
+from repro.core.node import MAICCNode, NodeRunResult, table4_workload
+from repro.core.scheduler import static_schedule
+from repro.core.functional import FunctionalNodeGroup, simulate_quantized_graph
+from repro.core.streaming import CoreBreakdown, SegmentSimulator
+from repro.core.event_streaming import EventDrivenSegmentSimulator
+from repro.core.traffic import TrafficResult, simulate_segment_traffic
+from repro.core.simulator import ChipSimulator, NetworkRunResult
+from repro.core.chip import ChipConfig, MAICCChip
+from repro.core.multi_dnn import MultiDNNResult, MultiDNNScheduler
+from repro.core.sensor_stream import SensorStreamSimulator, StreamSpec
+from repro.core.runtime import DeployedModel, InferenceResult, MAICCRuntime, network_spec_of
+from repro.core.functional_streaming import StreamedSegmentExecutor
+from repro.core.weight_staging import StagingResult, WeightStager, stage_node
+
+__all__ = [
+    "NodeLayout",
+    "plan_node_layout",
+    "DCTiming",
+    "IterationTiming",
+    "LayerTiming",
+    "PerformanceModel",
+    "TimingParams",
+    "MAICCNode",
+    "NodeRunResult",
+    "table4_workload",
+    "static_schedule",
+    "FunctionalNodeGroup",
+    "simulate_quantized_graph",
+    "CoreBreakdown",
+    "SegmentSimulator",
+    "EventDrivenSegmentSimulator",
+    "TrafficResult",
+    "simulate_segment_traffic",
+    "ChipSimulator",
+    "NetworkRunResult",
+    "ChipConfig",
+    "MAICCChip",
+    "MultiDNNResult",
+    "MultiDNNScheduler",
+    "SensorStreamSimulator",
+    "StreamSpec",
+    "DeployedModel",
+    "InferenceResult",
+    "MAICCRuntime",
+    "network_spec_of",
+    "StreamedSegmentExecutor",
+    "StagingResult",
+    "WeightStager",
+    "stage_node",
+]

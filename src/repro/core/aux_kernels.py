@@ -1,0 +1,227 @@
+"""Auxiliary-function kernels for the scalar pipeline.
+
+The paper's division of labour (Sec. 2.3/4.1): CMem does vector MACs,
+the RISC-V core does everything else — requantization, activation
+functions, pooling — because aux functions are "diverse and irregular"
+and need programmability.  This module generates real assembly for the
+common aux functions over int8 arrays in data memory, so their per-value
+cycle costs are *measured* on the pipeline rather than assumed:
+
+* ``relu`` — branchless clamp at zero;
+* ``lut`` — arbitrary unary function via a 256-entry table (sigmoid,
+  tanh, ... — the "irregular" case hardware accelerators struggle with);
+* ``maxpool2x2`` — 2x2/2 max pooling over an HxW channel plane;
+* ``requant`` — int32 accumulators to int8 via multiply + round + shift.
+
+Each generator returns (assembly text, output address); drivers in the
+tests stage inputs, run the Core, and compare against NumPy.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import List, Sequence
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+from repro.riscv.core import Core
+from repro.riscv.pipeline import PipelineStats
+
+
+@dataclass
+class AuxRunResult:
+    """Output bytes plus the measured cost."""
+
+    outputs: np.ndarray
+    cycles: int
+    cycles_per_value: float
+    stats: PipelineStats
+
+
+def _check_dmem(*spans) -> None:
+    for base, size in spans:
+        if base < 0 or base + size > 4096:
+            raise ConfigurationError(
+                f"region [{base}, {base + size}) exceeds the 4 KB data memory"
+            )
+
+
+def relu_kernel(src: int, dst: int, count: int) -> str:
+    """Branchless int8 ReLU over ``count`` bytes: x & ~(x >> 31)."""
+    _check_dmem((src, count), (dst, count))
+    return f"""
+        li t0, {src}
+        li t1, {dst}
+        li t2, {count}
+    loop:
+        lb   t3, 0(t0)
+        srai t4, t3, 31
+        xori t4, t4, -1
+        and  t3, t3, t4
+        sb   t3, 0(t1)
+        addi t0, t0, 1
+        addi t1, t1, 1
+        addi t2, t2, -1
+        bne  t2, zero, loop
+        halt
+    """
+
+
+def lut_kernel(src: int, dst: int, table: int, count: int) -> str:
+    """Unary int8 function via a 256-entry byte table at ``table``.
+
+    The value (as an unsigned byte) indexes the table — three instructions
+    per element plus addressing: exactly why "irregular" activations are a
+    software problem, not a PE-array one.
+    """
+    _check_dmem((src, count), (dst, count), (table, 256))
+    return f"""
+        li t0, {src}
+        li t1, {dst}
+        li t2, {count}
+        li t5, {table}
+    loop:
+        lbu  t3, 0(t0)
+        add  t4, t5, t3
+        lbu  t3, 0(t4)
+        sb   t3, 0(t1)
+        addi t0, t0, 1
+        addi t1, t1, 1
+        addi t2, t2, -1
+        bne  t2, zero, loop
+        halt
+    """
+
+
+def maxpool2x2_kernel(src: int, dst: int, h: int, w: int) -> str:
+    """2x2 stride-2 max pooling of one signed-byte HxW plane."""
+    if h % 2 or w % 2:
+        raise ConfigurationError("maxpool2x2 needs even dimensions")
+    _check_dmem((src, h * w), (dst, (h // 2) * (w // 2)))
+    # max(a, b) branchless: a + ((b - a) & ~((b - a) >> 31))
+    return f"""
+        li s0, {src}
+        li s1, {dst}
+        li s2, 0          # oy
+    rows:
+        li s3, 0          # ox
+    cols:
+        slli t0, s2, 1
+        li   t1, {w}
+        mul  t0, t0, t1
+        slli t2, s3, 1
+        add  t0, t0, t2
+        addi t3, s0, 0
+        add  t3, t3, t0   # &src[2*oy][2*ox]
+        lb   t4, 0(t3)
+        lb   t5, 1(t3)
+        sub  t6, t5, t4
+        srai a0, t6, 31
+        xori a0, a0, -1
+        and  t6, t6, a0
+        add  t4, t4, t6   # max of row pair 1
+        lb   t5, {w}(t3)
+        sub  t6, t5, t4
+        srai a0, t6, 31
+        xori a0, a0, -1
+        and  t6, t6, a0
+        add  t4, t4, t6
+        lb   t5, {w + 1}(t3)
+        sub  t6, t5, t4
+        srai a0, t6, 31
+        xori a0, a0, -1
+        and  t6, t6, a0
+        add  t4, t4, t6   # max of the 2x2 window
+        li   t1, {w // 2}
+        mul  t0, s2, t1
+        add  t0, t0, s3
+        add  t0, t0, s1
+        sb   t4, 0(t0)
+        addi s3, s3, 1
+        li   t1, {w // 2}
+        blt  s3, t1, cols
+        addi s2, s2, 1
+        li   t1, {h // 2}
+        blt  s2, t1, rows
+        halt
+    """
+
+
+def requant_kernel(src: int, dst: int, count: int, mult: int, shift: int) -> str:
+    """Int32 accumulators -> int8: (acc * mult + round) >> shift, clamped."""
+    _check_dmem((src, 4 * count), (dst, count))
+    rnd = 1 << (shift - 1) if shift else 0
+    return f"""
+        li t0, {src}
+        li t1, {dst}
+        li t2, {count}
+        li t5, {mult}
+    loop:
+        lw   t3, 0(t0)
+        mul  t3, t3, t5
+        addi t3, t3, {rnd}
+        srai t3, t3, {shift}
+        # clamp to [-128, 127]
+        li   t4, 127
+        blt  t3, t4, no_hi
+        li   t3, 127
+    no_hi:
+        li   t4, -128
+        bge  t3, t4, no_lo
+        li   t3, -128
+    no_lo:
+        sb   t3, 0(t1)
+        addi t0, t0, 4
+        addi t1, t1, 1
+        addi t2, t2, -1
+        bne  t2, zero, loop
+        halt
+    """
+
+
+# -- drivers -------------------------------------------------------------------
+
+
+def run_aux(
+    program: str,
+    *,
+    stage: Sequence,
+    read_base: int,
+    read_count: int,
+    signed: bool = True,
+    count_for_rate: int = None,
+) -> AuxRunResult:
+    """Stage bytes/words, run the kernel, read results and cycle costs.
+
+    ``stage`` is a list of (base, values, size) triples written into data
+    memory before the run.
+    """
+    core = Core()
+    for base, values, size in stage:
+        for i, value in enumerate(values):
+            core.memory.store(base + i * size, size, int(value) & ((1 << (8 * size)) - 1))
+    stats = core.run(program)
+    out = np.zeros(read_count, dtype=np.int64)
+    for i in range(read_count):
+        byte = core.memory.load(read_base + i, 1)
+        out[i] = byte - 256 if (signed and byte & 0x80) else byte
+    denom = count_for_rate if count_for_rate else read_count
+    return AuxRunResult(
+        outputs=out,
+        cycles=stats.cycles,
+        cycles_per_value=stats.cycles / denom,
+        stats=stats,
+    )
+
+
+def sigmoid_table(in_scale: float, out_scale: float) -> List[int]:
+    """256-entry int8 sigmoid LUT: index = unsigned byte of the input."""
+    table = []
+    for byte in range(256):
+        value = byte - 256 if byte & 0x80 else byte
+        real = 1.0 / (1.0 + math.exp(-value * in_scale))
+        q = int(round(real / out_scale))
+        table.append(max(-128, min(127, q)) & 0xFF)
+    return table

@@ -1,0 +1,158 @@
+"""Event-driven segment simulation at (core, vector) granularity.
+
+The production streaming model (:mod:`repro.core.streaming`) collapses
+each layer's chain into a single pipelined station — fast, but an
+approximation.  This module simulates every core of every chain as its
+own actor on the discrete-event kernel, serving two purposes:
+
+* **validation** — the tandem-queue model's totals are cross-checked
+  against a faithful per-core simulation (see
+  ``tests/core/test_event_streaming.py``);
+* **policy exploration** — Algorithm 1 forwards the ifmap vector *after*
+  computing with it (lines 9-13 follow lines 4-8); hardware would also
+  permit forwarding *eagerly* (StoreRow.RC only reads slice 0).  The
+  policies differ exactly by the chain-fill term, which dominates the
+  single-layer strategy's long chains.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+from repro.core.perfmodel import LayerTiming
+from repro.core.streaming import _completion_source_index
+from repro.errors import SimulationError
+from repro.nn.workloads import ConvLayerSpec
+from repro.utils.events import EventQueue
+
+
+@dataclass
+class EventSegmentResult:
+    """Outcome of one event-driven segment run."""
+
+    total_cycles: float
+    layer_finish: Dict[int, float] = field(default_factory=dict)
+    events_processed: int = 0
+
+
+class EventDrivenSegmentSimulator:
+    """Per-core, per-vector discrete-event simulation of one segment."""
+
+    def __init__(
+        self,
+        timings: Sequence[LayerTiming],
+        *,
+        forward_policy: str = "eager",
+    ) -> None:
+        if not timings:
+            raise SimulationError("empty segment")
+        if forward_policy not in ("eager", "after_compute"):
+            raise SimulationError(f"unknown forward policy {forward_policy!r}")
+        self.timings = list(timings)
+        self.forward_policy = forward_policy
+
+    def run(self) -> EventSegmentResult:
+        queue = EventQueue()
+        timings = self.timings
+        n_layers = len(timings)
+
+        # Per-layer mutable state.
+        dc_free = [0.0] * n_layers
+        core_free = [[0.0] * lt.computing_nodes for lt in timings]
+        chain_done: List[Dict[int, float]] = [dict() for _ in timings]
+        finish = [0.0] * n_layers
+
+        # Consumer wiring: consumer vector index -> producer vector index.
+        producer_of = [None] * n_layers
+        consumer_sources: List[Optional[List[int]]] = [None] * n_layers
+        history: List[ConvLayerSpec] = []
+        for li, lt in enumerate(timings):
+            spec = lt.spec
+            for pj in range(li - 1, -1, -1):
+                if timings[pj].spec.ofmap_hw == (spec.h, spec.w):
+                    producer_of[li] = pj
+                    break
+            if producer_of[li] is not None:
+                prev_spec = timings[producer_of[li]].spec
+                oh, ow = prev_spec.ofmap_hw
+                step = int(round(math.sqrt(oh * ow / lt.iterations))) or 1
+                sources = []
+                for oy in range(0, oh, step):
+                    for ox in range(0, ow, step):
+                        if len(sources) >= lt.iterations:
+                            break
+                        src = _completion_source_index(prev_spec, oy, ox)
+                        sources.append(min(src, timings[producer_of[li]].iterations - 1))
+                while len(sources) < lt.iterations:
+                    sources.append(sources[-1] if sources else 0)
+                consumer_sources[li] = sources
+            history.append(spec)
+
+        # Reverse index: producer layer -> {producer vector: [consumer vectors]}.
+        waiters: List[Dict[int, List[int]]] = [dict() for _ in timings]
+        for li, sources in enumerate(consumer_sources):
+            if sources is None:
+                continue
+            pj = producer_of[li]
+            for v, src in enumerate(sources):
+                waiters[pj].setdefault(src, []).append((li, v))
+
+        hop = timings[0].fill_per_hop
+
+        def core_receive(li: int, k: int, v: int, t: float) -> None:
+            lt = timings[li]
+            start = max(t, core_free[li][k])
+            compute_done = start + lt.iteration.total
+            core_free[li][k] = compute_done
+            if self.forward_policy == "eager":
+                forward_at = start + lt.iteration.t_forward
+            else:
+                forward_at = compute_done
+            if k + 1 < lt.computing_nodes:
+                queue.schedule(
+                    max(forward_at + hop, queue.now),
+                    lambda: core_receive(li, k + 1, v, forward_at + hop),
+                )
+            # The vector's results exist once the last core computed it.
+            if k == lt.computing_nodes - 1:
+                chain_complete(li, v, compute_done)
+
+        def chain_complete(li: int, v: int, t: float) -> None:
+            chain_done[li][v] = t
+            finish[li] = max(finish[li], t)
+            for (cl, cv) in waiters[li].get(v, ()):
+                queue.schedule(
+                    max(t + hop, queue.now), lambda cl=cl, cv=cv, t=t: dc_receive(cl, cv, t + hop)
+                )
+
+        def dc_receive(li: int, v: int, t: float) -> None:
+            lt = timings[li]
+            start = max(t, dc_free[li])
+            done = start + lt.dc.total
+            dc_free[li] = done
+            if lt.computing_nodes:
+                queue.schedule(max(done + hop, queue.now),
+                               lambda: core_receive(li, 0, v, done + hop))
+            else:
+                chain_complete(li, v, done)
+
+        # Source layers (no in-segment producer) stream from DRAM at t=0.
+        for li, lt in enumerate(timings):
+            if producer_of[li] is None:
+                for v in range(lt.iterations):
+                    queue.schedule(0.0, lambda li=li, v=v: dc_receive(li, v, 0.0))
+
+        queue.run()
+        for li, lt in enumerate(timings):
+            if len(chain_done[li]) != lt.iterations:
+                raise SimulationError(
+                    f"layer {lt.spec.name}: only {len(chain_done[li])} of "
+                    f"{lt.iterations} vectors completed (deadlock?)"
+                )
+        return EventSegmentResult(
+            total_cycles=max(finish),
+            layer_finish={lt.spec.index: finish[li] for li, lt in enumerate(timings)},
+            events_processed=queue.processed,
+        )

@@ -1,0 +1,288 @@
+"""Functional multi-node execution of layers and whole networks.
+
+Two fidelity levels, selected per layer:
+
+* **bit-true** — every computing core owns a real :class:`~repro.cmem.cmem.CMem`;
+  the DC transposes each ifmap vector through slice 0, rows are forwarded
+  core-to-core exactly as LoadRow.RC/StoreRow.RC would, and every MAC is a
+  real bit-line computation.  Tractable for small layers; used by the
+  end-to-end correctness tests.
+* **fast** — identical data placement, filter splitting, sub-vector
+  handling and accumulation order, but the per-vector dot products are
+  computed with NumPy.  Used for ResNet18-scale functional runs.
+
+Either way the result must equal the quantized reference engine exactly.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict, Optional
+
+import numpy as np
+
+from repro.cmem.cmem import CMem
+from repro.core.datalayout import (
+    load_filters_into_cmem,
+    plan_node_layout,
+    split_filters_across_nodes,
+)
+from repro.errors import ConfigurationError
+from repro.mapping.capacity import CapacityModel
+from repro.nn.quantize import QConv2d, QLinear, QuantizedGraph, QInput
+from repro.nn.workloads import ConvLayerSpec
+
+
+@dataclass
+class GroupRunStats:
+    """Operation counts of one layer's node-group execution."""
+
+    vectors_streamed: int = 0
+    row_transfers: int = 0
+    macs: int = 0
+    cmem_energy_pj: float = 0.0
+
+
+def bit_true_min_nodes(spec: ConvLayerSpec, capacity: CapacityModel) -> int:
+    """Minimum computing cores for the unpacked (bit-true) layout.
+
+    Whole filters per node (no lane packing, no filter splitting), so each
+    node's slot demand is guaranteed to fit its CMem.
+    """
+    sub_vectors = max(1, math.ceil(spec.c / capacity.cols))
+    slots_per_filter = spec.r * spec.s * sub_vectors
+    fpn = capacity.total_vector_slots(spec.n_bits) // slots_per_filter
+    if fpn < 1:
+        raise ConfigurationError(
+            f"{spec.name}: one filter does not fit a node without packing"
+        )
+    return max(1, math.ceil(spec.m / fpn))
+
+
+def _spec_of_qconv(name: str, layer: QConv2d, in_shape) -> ConvLayerSpec:
+    m, c, r, s = layer.weight_q.shape
+    return ConvLayerSpec(
+        index=0, name=name, h=in_shape[1], w=in_shape[2], c=c, m=m,
+        r=r, s=s, stride=layer.stride, padding=layer.padding,
+        n_bits=layer.n_bits,
+    )
+
+
+class FunctionalNodeGroup:
+    """One layer on a DC + chain of computing cores."""
+
+    def __init__(
+        self,
+        spec: ConvLayerSpec,
+        weights: np.ndarray,
+        bias: np.ndarray,
+        num_computing: int,
+        *,
+        bit_true: bool = False,
+        capacity: Optional[CapacityModel] = None,
+    ) -> None:
+        self.spec = spec
+        self.weights = np.asarray(weights, dtype=np.int64)
+        self.bias = np.asarray(bias, dtype=np.int64)
+        self.num_computing = num_computing
+        self.bit_true = bit_true
+        self.capacity = capacity or CapacityModel()
+        self.stats = GroupRunStats()
+        self.ranges = split_filters_across_nodes(spec.m, num_computing)
+        if bit_true:
+            if spec.c > self.capacity.cols:
+                raise ConfigurationError(
+                    "bit-true groups support C <= 256; use fast mode above"
+                )
+            self._nodes = []
+            for start, count in self.ranges:
+                if count == 0:
+                    self._nodes.append(None)
+                    continue
+                node_spec = ConvLayerSpec(
+                    index=spec.index, name=spec.name, h=spec.h, w=spec.w,
+                    c=spec.c, m=count, r=spec.r, s=spec.s,
+                    stride=spec.stride, padding=spec.padding, n_bits=spec.n_bits,
+                )
+                layout = plan_node_layout(node_spec, count, self.capacity)
+                cmem = CMem()
+                load_filters_into_cmem(
+                    cmem, layout, self.weights[start : start + count]
+                )
+                for s_idx in layout.slices_used:
+                    cmem.slice(s_idx).csr_mask = layout.csr_mask
+                self._nodes.append((node_spec, layout, cmem))
+
+    # -- bit-true path ------------------------------------------------------------
+
+    def _run_bit_true(self, q_in: np.ndarray) -> np.ndarray:
+        spec = self.spec
+        n = spec.n_bits
+        oh, ow = spec.ofmap_hw
+        acc = np.zeros((spec.m, oh, ow), dtype=np.int64)
+        acc += self.bias[:, None, None]
+        dc_buffer = CMem()  # the DC's own CMem: slice 0 is the transposer
+        for y in range(spec.h):
+            for x in range(spec.w):
+                vector = q_in[:, y, x]
+                # DC: vertical byte writes into slice 0, then row reads.
+                dc_buffer.slice0.store_vector(0, [int(v) & 0xFF for v in vector], n)
+                rows = [dc_buffer.slice0.read_row(r) for r in range(n)]
+                self.stats.vectors_streamed += 1
+                for node, (start, count) in zip(self._nodes, self.ranges):
+                    if node is None:
+                        continue
+                    node_spec, layout, cmem = node
+                    # LoadRow.RC x N: the vector lands in slice 0.
+                    for r, row_bits in enumerate(rows):
+                        cmem.write_row(0, r, row_bits)
+                        self.stats.row_transfers += 1
+                    # Broadcast and MAC (Algorithm 1).
+                    for s_idx in layout.slices_used:
+                        cmem.move(0, 0, s_idx, 0, n)
+                    for entry in layout.entries:
+                        oy_num = y + spec.padding - entry.fr
+                        ox_num = x + spec.padding - entry.fs
+                        if oy_num % spec.stride or ox_num % spec.stride:
+                            continue
+                        oy, ox = oy_num // spec.stride, ox_num // spec.stride
+                        if not (0 <= oy < oh and 0 <= ox < ow):
+                            continue
+                        psum = cmem.mac(
+                            entry.slice_index, 0, entry.row, n, signed=True
+                        )
+                        self.stats.macs += 1
+                        acc[start + entry.filter_index, oy, ox] += psum
+        for node in self._nodes:
+            if node is not None:
+                self.stats.cmem_energy_pj += node[2].energy.total_pj
+        return acc
+
+    # -- fast path -------------------------------------------------------------------
+
+    def _run_fast(self, q_in: np.ndarray) -> np.ndarray:
+        spec = self.spec
+        oh, ow = spec.ofmap_hw
+        cols = self.capacity.cols
+        sub_vectors = max(1, math.ceil(spec.c / cols))
+        acc = np.zeros((spec.m, oh, ow), dtype=np.int64)
+        acc += self.bias[:, None, None]
+        padded_c = sub_vectors * cols
+        padded = np.zeros((padded_c, spec.h, spec.w), dtype=np.int64)
+        padded[: spec.c] = q_in
+        for y in range(spec.h):
+            for x in range(spec.w):
+                self.stats.vectors_streamed += 1
+                vector = padded[:, y, x]
+                for (start, count) in self.ranges:
+                    if count == 0:
+                        continue
+                    self.stats.row_transfers += spec.n_bits * sub_vectors
+                    for fr in range(spec.r):
+                        oy_num = y + spec.padding - fr
+                        if oy_num % spec.stride:
+                            continue
+                        oy = oy_num // spec.stride
+                        if not 0 <= oy < oh:
+                            continue
+                        for fs in range(spec.s):
+                            ox_num = x + spec.padding - fs
+                            if ox_num % spec.stride:
+                                continue
+                            ox = ox_num // spec.stride
+                            if not 0 <= ox < ow:
+                                continue
+                            w_slab = np.zeros((count, padded_c), dtype=np.int64)
+                            w_slab[:, : spec.c] = self.weights[
+                                start : start + count, :, fr, fs
+                            ]
+                            # One MAC.C per held filter per 256-lane
+                            # sub-vector, exactly as the CMem would issue.
+                            for sub in range(sub_vectors):
+                                lo, hi = sub * cols, (sub + 1) * cols
+                                psums = w_slab[:, lo:hi] @ vector[lo:hi]
+                                self.stats.macs += count
+                                acc[start : start + count, oy, ox] += psums
+        return acc
+
+    def run(self, q_in: np.ndarray) -> np.ndarray:
+        """Stream the quantized ifmap through the group; returns int32 acc."""
+        q_in = np.asarray(q_in, dtype=np.int64)
+        if q_in.shape != (self.spec.c, self.spec.h, self.spec.w):
+            raise ConfigurationError(
+                f"ifmap shape {q_in.shape} != "
+                f"({self.spec.c}, {self.spec.h}, {self.spec.w})"
+            )
+        if self.bit_true:
+            return self._run_bit_true(q_in)
+        return self._run_fast(q_in)
+
+
+def simulate_quantized_graph(
+    qgraph: QuantizedGraph,
+    x: np.ndarray,
+    *,
+    nodes_per_layer: Optional[Dict[str, int]] = None,
+    bit_true: bool = False,
+    capacity: Optional[CapacityModel] = None,
+) -> Dict[str, np.ndarray]:
+    """Run a quantized network with every conv/FC on a functional node group.
+
+    Auxiliary layers (ReLU, pooling, residual add, requantization) execute
+    through the same integer routines the scalar cores implement.  The
+    returned activations must equal ``qgraph.forward(x)`` exactly.
+    """
+    capacity = capacity or CapacityModel()
+    nodes_per_layer = nodes_per_layer or {}
+    acts: Dict[str, np.ndarray] = {}
+    for name in qgraph.order:
+        node = qgraph.nodes[name]
+        layer = node.layer
+        if isinstance(layer, QInput):
+            acts[name] = layer.forward(x)
+        elif isinstance(layer, QConv2d):
+            q_in = acts[node.inputs[0]]
+            spec = _spec_of_qconv(name, layer, q_in.shape)
+            default = (
+                bit_true_min_nodes(spec, capacity)
+                if bit_true
+                else capacity.min_nodes(spec, max_nodes=spec.m)
+            )
+            num = nodes_per_layer.get(name, default)
+            group = FunctionalNodeGroup(
+                spec, layer.weight_q, layer.bias_q, num,
+                bit_true=bit_true, capacity=capacity,
+            )
+            acc = group.run(q_in)
+            from repro.nn.quantize import _requant
+
+            acts[name] = _requant(acc, layer.requant_ratio, layer.n_bits)
+        elif isinstance(layer, QLinear):
+            q_in = acts[node.inputs[0]].reshape(-1)
+            spec = ConvLayerSpec(
+                index=0, name=name, h=1, w=1, c=q_in.shape[0],
+                m=layer.weight_q.shape[0], r=1, s=1, stride=1, padding=0,
+                n_bits=layer.n_bits,
+            )
+            default = (
+                bit_true_min_nodes(spec, capacity)
+                if bit_true
+                else capacity.min_nodes(spec, max_nodes=spec.m)
+            )
+            num = nodes_per_layer.get(name, default)
+            group = FunctionalNodeGroup(
+                spec,
+                layer.weight_q.reshape(spec.m, spec.c, 1, 1),
+                layer.bias_q,
+                num,
+                bit_true=bit_true,
+                capacity=capacity,
+            )
+            acc = group.run(q_in.reshape(spec.c, 1, 1)).reshape(spec.m)
+            from repro.nn.quantize import _requant
+
+            acts[name] = _requant(acc, layer.requant_ratio, layer.n_bits)
+        else:
+            acts[name] = layer.forward(*[acts[i] for i in node.inputs])
+    return acts

@@ -1,0 +1,167 @@
+"""Functionally streamed segment execution (Fig. 7(a), made checkable).
+
+The inter-layer pipeline claims that "once a new ofmap pixel is generated,
+it can be sent to the next node group immediately" — i.e. the streamed
+schedule is *causally valid*: every consumer vector only ever reads
+producer values that are already final.  This module executes a chain of
+quantized conv layers strictly in that streamed order — producer ifmap
+vectors arrive one at a time; an ofmap pixel requantizes and forwards the
+moment its last contribution lands; downstream layers consume their input
+pixels in raster order as they become available — and the result must
+equal layer-by-layer execution exactly.
+
+This is a functional proof of the pipelining schedule, complementing the
+timing models in :mod:`repro.core.streaming`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Sequence
+
+import numpy as np
+
+from repro.errors import ConfigurationError, SimulationError
+from repro.nn.quantize import QConv2d, _requant
+
+
+@dataclass
+class _LayerState:
+    """Streaming state of one conv layer in the chain."""
+
+    layer: QConv2d
+    in_shape: tuple            # (C, H, W)
+    acc: np.ndarray            # int64 accumulators (M, OH, OW)
+    remaining: np.ndarray      # contributions outstanding per ofmap pixel
+    output: np.ndarray         # requantized int8 ofmap (M, OH, OW)
+    produced: np.ndarray       # ofmap pixel finalized? (OH, OW) bool
+    next_consume: int = 0      # raster cursor into this layer's ifmap
+    pending: Dict[int, np.ndarray] = field(default_factory=dict)
+
+    @property
+    def out_hw(self) -> tuple:
+        return self.acc.shape[1], self.acc.shape[2]
+
+
+def _contribution_count(layer: QConv2d, in_shape: tuple) -> np.ndarray:
+    """How many (ifmap pixel, filter tap) pairs feed each ofmap pixel."""
+    _, h, w = in_shape
+    _, _, r, s = layer.weight_q.shape
+    oh = (h + 2 * layer.padding - r) // layer.stride + 1
+    ow = (w + 2 * layer.padding - s) // layer.stride + 1
+    counts = np.zeros((oh, ow), dtype=np.int64)
+    for y in range(h):
+        for x in range(w):
+            for fr in range(r):
+                oy_num = y + layer.padding - fr
+                if oy_num % layer.stride or not 0 <= oy_num // layer.stride < oh:
+                    continue
+                for fs in range(s):
+                    ox_num = x + layer.padding - fs
+                    if ox_num % layer.stride or not 0 <= ox_num // layer.stride < ow:
+                        continue
+                    counts[oy_num // layer.stride, ox_num // layer.stride] += 1
+    return counts
+
+
+class StreamedSegmentExecutor:
+    """Executes a linear chain of quantized conv layers in streamed order."""
+
+    def __init__(self, layers: Sequence[QConv2d], input_shape: tuple) -> None:
+        if not layers:
+            raise SimulationError("empty chain")
+        self.states: List[_LayerState] = []
+        shape = tuple(input_shape)
+        for layer in layers:
+            if not isinstance(layer, QConv2d):
+                raise ConfigurationError(
+                    "the streamed executor chains QConv2d layers"
+                )
+            m, c, r, s = layer.weight_q.shape
+            if c != shape[0]:
+                raise ConfigurationError(
+                    f"chain shape mismatch: layer expects {c} channels, "
+                    f"got {shape[0]}"
+                )
+            oh = (shape[1] + 2 * layer.padding - r) // layer.stride + 1
+            ow = (shape[2] + 2 * layer.padding - s) // layer.stride + 1
+            acc = np.tile(
+                layer.bias_q.astype(np.int64)[:, None, None], (1, oh, ow)
+            )
+            self.states.append(
+                _LayerState(
+                    layer=layer,
+                    in_shape=shape,
+                    acc=acc,
+                    remaining=_contribution_count(layer, shape),
+                    output=np.zeros((m, oh, ow), dtype=np.int64),
+                    produced=np.zeros((oh, ow), dtype=bool),
+                )
+            )
+            shape = (m, oh, ow)
+
+    # -- streamed execution -------------------------------------------------------
+
+    def _absorb(self, index: int, pixel: int, vector: np.ndarray) -> None:
+        """Feed one ifmap vector (all channels of one pixel) to layer i."""
+        state = self.states[index]
+        layer = state.layer
+        _, h, w = state.in_shape
+        oh, ow = state.out_hw
+        y, x = divmod(pixel, w)
+        _, _, r, s = layer.weight_q.shape
+        for fr in range(r):
+            oy_num = y + layer.padding - fr
+            if oy_num % layer.stride or not 0 <= oy_num // layer.stride < oh:
+                continue
+            oy = oy_num // layer.stride
+            for fs in range(s):
+                ox_num = x + layer.padding - fs
+                if ox_num % layer.stride or not 0 <= ox_num // layer.stride < ow:
+                    continue
+                ox = ox_num // layer.stride
+                state.acc[:, oy, ox] += layer.weight_q[:, :, fr, fs] @ vector
+                state.remaining[oy, ox] -= 1
+                if state.remaining[oy, ox] == 0:
+                    self._finalize(index, oy, ox)
+
+    def _finalize(self, index: int, oy: int, ox: int) -> None:
+        """An ofmap pixel completed: requantize and forward downstream."""
+        state = self.states[index]
+        value = _requant(
+            state.acc[:, oy, ox], state.layer.requant_ratio, state.layer.n_bits
+        )
+        state.output[:, oy, ox] = value
+        state.produced[oy, ox] = True
+        if index + 1 < len(self.states):
+            consumer = self.states[index + 1]
+            oh, ow = state.out_hw
+            consumer.pending[oy * ow + ox] = value
+            self._drain(index + 1)
+
+    def _drain(self, index: int) -> None:
+        """Consume available pixels in strict raster order (the DC's feed)."""
+        state = self.states[index]
+        while state.next_consume in state.pending:
+            vector = state.pending.pop(state.next_consume)
+            self._absorb(index, state.next_consume, vector)
+            state.next_consume += 1
+
+    def run(self, q_in: np.ndarray) -> List[np.ndarray]:
+        """Stream the input through the whole chain; returns each ofmap."""
+        q_in = np.asarray(q_in, dtype=np.int64)
+        if q_in.shape != self.states[0].in_shape:
+            raise ConfigurationError(
+                f"input shape {q_in.shape} != {self.states[0].in_shape}"
+            )
+        _, h, w = self.states[0].in_shape
+        for pixel in range(h * w):
+            y, x = divmod(pixel, w)
+            self._absorb(0, pixel, q_in[:, y, x])
+        for i, state in enumerate(self.states):
+            if not state.produced.all():
+                raise SimulationError(
+                    f"layer {i}: streamed schedule left "
+                    f"{(~state.produced).sum()} ofmap pixels unfinished"
+                )
+        return [state.output for state in self.states]

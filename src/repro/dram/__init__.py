@@ -1,0 +1,19 @@
+"""Off-chip memory system: striped multi-channel DRAM and the LLC rows.
+
+A DRAMsim3 substitute: bank-state timing (activate / column access /
+precharge), per-access energy, and a sparse functional backing store,
+behind 32 last-level-cache tiles that form the top and bottom rows of the
+mesh (Fig. 3(a)).
+"""
+
+from repro.dram.controller import DRAMConfig, DRAMController, DRAMStats
+from repro.dram.llc import LLCConfig, LLCache, LLCStats
+
+__all__ = [
+    "DRAMConfig",
+    "DRAMController",
+    "DRAMStats",
+    "LLCConfig",
+    "LLCache",
+    "LLCStats",
+]

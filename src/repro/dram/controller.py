@@ -1,0 +1,138 @@
+"""A bank-state DRAM timing and energy model with sparse functional storage.
+
+The 2 GB many-core DRAM is uniformly divided into 32 channels, each wired
+to one LLC tile (Table 1).  Timing follows the classic three-phase model:
+row activate (tRCD), column access (tCAS), and precharge (tRP) on a row
+miss; an open-row hit pays only tCAS.  Numbers are in core cycles at 1 GHz
+and default to DDR4-2400-like values.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Tuple
+
+from repro.errors import DRAMError
+from repro.riscv.memory import DRAM_BASE, DRAM_CHANNELS, DRAM_END
+
+
+@dataclass(frozen=True)
+class DRAMConfig:
+    channels: int = DRAM_CHANNELS
+    banks_per_channel: int = 8
+    row_bytes: int = 2048
+    trcd: int = 15  # activate -> column command
+    tcas: int = 15  # column command -> data
+    trp: int = 15   # precharge
+    tburst: int = 4  # data burst (64 B line)
+    line_bytes: int = 64
+    # Energy per operation (pJ), DDR4-class: dominated by I/O + array access.
+    activate_pj: float = 909.0
+    read_pj: float = 467.0
+    write_pj: float = 467.0
+    background_mw_per_channel: float = 60.0
+
+
+@dataclass
+class DRAMStats:
+    reads: int = 0
+    writes: int = 0
+    row_hits: int = 0
+    row_misses: int = 0
+    energy_pj: float = 0.0
+
+    @property
+    def accesses(self) -> int:
+        return self.reads + self.writes
+
+    @property
+    def row_hit_rate(self) -> float:
+        total = self.row_hits + self.row_misses
+        return self.row_hits / total if total else 0.0
+
+
+class DRAMController:
+    """All 32 channels of the many-core DRAM behind one interface."""
+
+    def __init__(self, config: DRAMConfig = DRAMConfig()) -> None:
+        self.config = config
+        self.stats = DRAMStats()
+        # (channel, bank) -> open row id, or -1 when precharged.
+        self._open_row: Dict[Tuple[int, int], int] = {}
+        # (channel, bank) -> busy-until time.
+        self._bank_free: Dict[Tuple[int, int], int] = {}
+        # Sparse functional storage: line-aligned blocks.
+        self._blocks: Dict[int, bytearray] = {}
+        self._channel_span = (DRAM_END - DRAM_BASE) // config.channels
+
+    # -- address mapping -----------------------------------------------------
+
+    def locate(self, addr: int) -> Tuple[int, int, int]:
+        """Map an address to (channel, bank, row)."""
+        if not DRAM_BASE <= addr < DRAM_END:
+            raise DRAMError(f"{addr:#010x} outside DRAM")
+        offset = addr - DRAM_BASE
+        channel = offset // self._channel_span
+        within = offset % self._channel_span
+        row_id = within // self.config.row_bytes
+        bank = row_id % self.config.banks_per_channel
+        row = row_id // self.config.banks_per_channel
+        return channel, bank, row
+
+    # -- timing ----------------------------------------------------------------
+
+    def access_latency(self, addr: int, is_write: bool, time: int) -> int:
+        """Latency (cycles) of one line access starting at ``time``.
+
+        Updates bank state; subsequent accesses observe the open row.
+        """
+        cfg = self.config
+        channel, bank, row = self.locate(addr)
+        key = (channel, bank)
+        start = max(time, self._bank_free.get(key, 0))
+        open_row = self._open_row.get(key, -1)
+        if open_row == row:
+            self.stats.row_hits += 1
+            latency = cfg.tcas + cfg.tburst
+        else:
+            self.stats.row_misses += 1
+            precharge = cfg.trp if open_row != -1 else 0
+            latency = precharge + cfg.trcd + cfg.tcas + cfg.tburst
+            self._open_row[key] = row
+            self.stats.energy_pj += cfg.activate_pj
+        self._bank_free[key] = start + latency
+        if is_write:
+            self.stats.writes += 1
+            self.stats.energy_pj += cfg.write_pj
+        else:
+            self.stats.reads += 1
+            self.stats.energy_pj += cfg.read_pj
+        return (start - time) + latency
+
+    # -- functional storage ---------------------------------------------------
+
+    def _block(self, addr: int) -> Tuple[bytearray, int]:
+        base = addr & ~(self.config.line_bytes - 1)
+        block = self._blocks.get(base)
+        if block is None:
+            block = bytearray(self.config.line_bytes)
+            self._blocks[base] = block
+        return block, addr - base
+
+    def read_bytes(self, addr: int, size: int) -> bytes:
+        out = bytearray(size)
+        for i in range(size):
+            block, off = self._block(addr + i)
+            out[i] = block[off]
+        return bytes(out)
+
+    def write_bytes(self, addr: int, data: bytes) -> None:
+        for i, byte in enumerate(data):
+            block, off = self._block(addr + i)
+            block[off] = byte
+
+    def read_word(self, addr: int) -> int:
+        return int.from_bytes(self.read_bytes(addr, 4), "little")
+
+    def write_word(self, addr: int, value: int) -> None:
+        self.write_bytes(addr, (value & 0xFFFFFFFF).to_bytes(4, "little"))

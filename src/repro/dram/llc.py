@@ -1,0 +1,110 @@
+"""Last-level cache tiles bridging the mesh to the striped DRAM.
+
+Two rows of 16 LLC tiles sit at the top and bottom of the array
+(Fig. 3(a)), one per DRAM channel.  The model is a set-associative,
+write-back, write-allocate cache with LRU replacement; capacity per tile
+is a documented assumption (the paper reports only the aggregate "LL
+Cache" area share), defaulting to 64 KB.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from dataclasses import dataclass
+from typing import Dict, Optional, Tuple
+
+from repro.dram.controller import DRAMController
+from repro.errors import ConfigurationError
+
+
+@dataclass(frozen=True)
+class LLCConfig:
+    capacity_bytes: int = 64 * 1024
+    line_bytes: int = 64
+    ways: int = 8
+    hit_latency: int = 4
+    # Energy per access (pJ), SRAM macro of this size at 28 nm.
+    access_pj: float = 20.0
+
+    def __post_init__(self) -> None:
+        lines = self.capacity_bytes // self.line_bytes
+        if lines % self.ways:
+            raise ConfigurationError("LLC lines must divide evenly into ways")
+
+    @property
+    def num_sets(self) -> int:
+        return self.capacity_bytes // self.line_bytes // self.ways
+
+
+@dataclass
+class LLCStats:
+    hits: int = 0
+    misses: int = 0
+    writebacks: int = 0
+    energy_pj: float = 0.0
+
+    @property
+    def accesses(self) -> int:
+        return self.hits + self.misses
+
+    @property
+    def hit_rate(self) -> float:
+        return self.hits / self.accesses if self.accesses else 0.0
+
+
+class LLCache:
+    """One LLC tile in front of its DRAM channel."""
+
+    def __init__(
+        self,
+        config: LLCConfig = LLCConfig(),
+        dram: Optional[DRAMController] = None,
+        channel: int = 0,
+    ) -> None:
+        self.config = config
+        self.dram = dram
+        self.channel = channel
+        self.stats = LLCStats()
+        # set index -> OrderedDict(tag -> dirty flag), LRU order (old first).
+        self._sets: Dict[int, OrderedDict] = {}
+
+    def _locate(self, addr: int) -> Tuple[int, int]:
+        line = addr // self.config.line_bytes
+        return line % self.config.num_sets, line // self.config.num_sets
+
+    def access(self, addr: int, is_write: bool, time: int = 0) -> int:
+        """Look up one address; returns the latency including DRAM on miss."""
+        set_index, tag = self._locate(addr)
+        ways = self._sets.setdefault(set_index, OrderedDict())
+        self.stats.energy_pj += self.config.access_pj
+        if tag in ways:
+            self.stats.hits += 1
+            ways.move_to_end(tag)
+            if is_write:
+                ways[tag] = True
+            return self.config.hit_latency
+        self.stats.misses += 1
+        latency = self.config.hit_latency
+        if self.dram is not None:
+            latency += self.dram.access_latency(addr, False, time)
+        if len(ways) >= self.config.ways:
+            _victim_tag, dirty = ways.popitem(last=False)
+            if dirty:
+                self.stats.writebacks += 1
+                if self.dram is not None:
+                    self.dram.access_latency(addr, True, time + latency)
+        ways[tag] = is_write
+        return latency
+
+    def flush(self, time: int = 0) -> int:
+        """Write every dirty line back; returns the number of writebacks."""
+        count = 0
+        for ways in self._sets.values():
+            for tag, dirty in list(ways.items()):
+                if dirty:
+                    count += 1
+                    ways[tag] = False
+                    if self.dram is not None:
+                        self.dram.access_latency(0x8000_0000, True, time)
+        self.stats.writebacks += count
+        return count

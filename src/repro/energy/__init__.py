@@ -1,0 +1,14 @@
+"""Area, power, and energy models of the 210-core MAICC chip (Sec. 5)."""
+
+from repro.energy.constants import ChipConstants
+from repro.energy.area import AreaBreakdown, area_breakdown
+from repro.energy.power import EnergyBreakdown, EnergyModel, OpCounts
+
+__all__ = [
+    "ChipConstants",
+    "AreaBreakdown",
+    "area_breakdown",
+    "EnergyBreakdown",
+    "EnergyModel",
+    "OpCounts",
+]

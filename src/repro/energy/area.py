@@ -1,0 +1,53 @@
+"""Chip area model (Fig. 10, left)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict
+
+from repro.energy.constants import ChipConstants
+
+
+@dataclass(frozen=True)
+class AreaBreakdown:
+    """Area per block in mm^2."""
+
+    cmem: float
+    core: float
+    local_mem: float
+    noc: float
+    llc: float
+
+    @property
+    def total(self) -> float:
+        return self.cmem + self.core + self.local_mem + self.noc + self.llc
+
+    def fractions(self) -> Dict[str, float]:
+        total = self.total
+        return {
+            "cmem": self.cmem / total,
+            "core": self.core / total,
+            "local_mem": self.local_mem / total,
+            "noc": self.noc / total,
+            "llc": self.llc / total,
+        }
+
+
+def area_breakdown(constants: ChipConstants = ChipConstants()) -> AreaBreakdown:
+    """Area of the full chip from per-block constants."""
+    return AreaBreakdown(
+        cmem=constants.num_cores * constants.cmem_area_mm2_per_node,
+        core=constants.num_cores * constants.core_area_mm2,
+        local_mem=constants.num_cores * constants.local_mem_area_mm2,
+        noc=constants.noc_area_mm2,
+        llc=constants.num_llc_tiles * constants.llc_tile_area_mm2,
+    )
+
+
+def node_area_mm2(constants: ChipConstants = ChipConstants()) -> float:
+    """One MAICC node: core + local memories + CMem (Table 4 row)."""
+    return (
+        constants.core_area_mm2
+        + constants.local_mem_area_mm2
+        + constants.cmem_area_mm2_per_node
+    )

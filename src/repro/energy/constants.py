@@ -1,0 +1,79 @@
+"""Physical constants of the MAICC chip.
+
+Sources, all from the paper's Sec. 5 (System Model) unless noted:
+
+* RISC-V core (Verilog RTL @ 28 nm, 1 GHz): 0.014 mm^2, 8 mW.
+* SRAM/CMem (SPICE @ 40 nm, 1.1 V, scaled to 28 nm): vertical write
+  4.75 pJ, Move.C 52.75 pJ, MAC.C 28.25 pJ, remote row 53.01 pJ; slice 0
+  area 0.014 mm^2, slices 1-7 area 0.023 mm^2 each (40 nm figures —
+  area scales by (28/40)^2).
+* NoC (dsent): 2.61 mm^2, 2.20 W static, 5.4 pJ per flit per hop.
+* Whole chip: 28 mm^2 at 210 cores.
+
+Leakage/background terms (CMem retention, DRAM background) are
+calibration parameters documented as such: the paper reports only the
+resulting breakdown (Fig. 10: energy 71% DRAM / 11% CMem / 11% NoC; area
+65% CMem / 11% core / 10% on-chip memory / 9% NoC / 5% LLC).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class ChipConstants:
+    """All physical constants in one place."""
+
+    clock_ghz: float = 1.0
+    num_cores: int = 210
+    num_llc_tiles: int = 32
+
+    # RISC-V core (28 nm).
+    core_area_mm2: float = 0.014
+    core_power_w: float = 0.008
+
+    # Local memories per node: 4 KB icache + 4 KB dmem.
+    local_mem_area_mm2: float = 0.0133
+    local_mem_power_w: float = 0.002
+
+    # CMem geometry + area (40 nm figures scaled to 28 nm).
+    slice0_area_mm2_40nm: float = 0.014
+    compute_slice_area_mm2_40nm: float = 0.023
+    num_compute_slices: int = 7
+    area_scale_40_to_28: float = (28.0 / 40.0) ** 2
+
+    # CMem per-op dynamic energies (pJ), already scaled to 28 nm.
+    vertical_write_pj: float = 4.75
+    move_pj: float = 52.75
+    mac_pj: float = 28.25
+    remote_row_pj: float = 53.01
+    # CMem retention/leakage per node (calibration constant).
+    cmem_leakage_w_per_node: float = 0.012
+
+    # NoC.
+    noc_area_mm2: float = 2.61
+    noc_static_w: float = 2.20
+    noc_flit_hop_pj: float = 5.4
+
+    # LLC tiles.
+    llc_tile_area_mm2: float = 0.04375
+    llc_access_pj: float = 20.0
+    llc_static_w_per_tile: float = 0.003
+
+    # Many-core DRAM (32 channels): access + background (calibrated so the
+    # ResNet18 run reproduces the ~71% DRAM share of Fig. 10).
+    dram_access_pj_per_byte: float = 40.0
+    dram_background_w: float = 17.5
+
+    @property
+    def cmem_area_mm2_per_node(self) -> float:
+        raw = (
+            self.slice0_area_mm2_40nm
+            + self.num_compute_slices * self.compute_slice_area_mm2_40nm
+        )
+        return raw * self.area_scale_40_to_28
+
+    @property
+    def cycle_seconds(self) -> float:
+        return 1.0 / (self.clock_ghz * 1e9)

@@ -1,0 +1,11 @@
+"""Experiment drivers: one module per table/figure of the evaluation.
+
+Each module exposes ``run(**kwargs) -> ExperimentResult``; the registry in
+:mod:`repro.experiments.runner` maps experiment ids (``table4`` ..
+``figure10``) to them, and the ``maicc-experiments`` console script prints
+the regenerated tables next to the paper's numbers.
+"""
+
+from repro.experiments.report import ExperimentResult, format_table
+
+__all__ = ["ExperimentResult", "format_table"]

@@ -1,0 +1,171 @@
+"""Design-space ablations as first-class experiments.
+
+The benchmark suite asserts these; the CLI renders them.  Each sweeps one
+design choice DESIGN.md calls out: CMem slice count, operand precision,
+the MAC primitive vs element-wise computing, placement policy, and batch
+streaming.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.baselines.neural_cache import NeuralCacheModel
+from repro.cmem.cmem import CMem
+from repro.core.node import table4_workload
+from repro.core.perfmodel import PerformanceModel, TimingParams
+from repro.core.simulator import ChipSimulator
+from repro.core.traffic import simulate_segment_traffic
+from repro.errors import CapacityError
+from repro.experiments.report import ExperimentResult
+from repro.mapping.capacity import CapacityModel
+from repro.mapping.placement import (
+    random_placement,
+    raster_placement,
+    zigzag_placement,
+)
+from repro.mapping.segmentation import HeuristicStrategy
+from repro.nn.workloads import ConvLayerSpec, NetworkSpec, resnet18_spec
+
+
+def run_slices() -> ExperimentResult:
+    """CMem slice count vs ResNet18 latency and per-node capacity."""
+    result = ExperimentResult(
+        experiment="ablation-slices",
+        title="Ablation: CMem compute-slice count (paper design point: 7)",
+        columns=["slices", "latency_ms", "filters_per_node", "fits_resnet18"],
+    )
+    spec = table4_workload()
+    for k in (3, 5, 7, 10, 14):
+        capacity = CapacityModel(compute_slices=k)
+        fits = True
+        latency = None
+        try:
+            sim = ChipSimulator(
+                params=TimingParams(slice_parallel_cmem=True), capacity=capacity
+            )
+            latency = round(sim.run(resnet18_spec(), "heuristic").latency_ms, 3)
+        except CapacityError:
+            fits = False
+        result.add_row(
+            slices=k,
+            latency_ms=latency if latency is not None else "-",
+            filters_per_node=capacity.filters_per_node(spec),
+            fits_resnet18=fits,
+        )
+    result.notes.append(
+        "below seven compute slices conv4_x exceeds 208 cores and falls "
+        "back to multi-pass tiling, paying latency; seven (the paper's "
+        "design point) is the smallest geometry that maps ResNet18 "
+        "single-pass"
+    )
+    return result
+
+
+def run_precision() -> ExperimentResult:
+    """Operand width: n^2 MAC cycles vs 64/n - 1 capacity."""
+    result = ExperimentResult(
+        experiment="ablation-precision",
+        title="Ablation: operand precision (paper design point: int8)",
+        columns=["n_bits", "mac_cycles", "slots_per_slice", "resnet_latency_ms"],
+    )
+    capacity = CapacityModel()
+    for n in (2, 4, 8, 16):
+        layers = tuple(
+            ConvLayerSpec(
+                index=s.index, name=s.name, h=s.h, w=s.w, c=s.c, m=s.m,
+                r=s.r, s=s.s, stride=s.stride, padding=s.padding,
+                kind=s.kind, n_bits=n,
+            )
+            for s in resnet18_spec()
+        )
+        net = NetworkSpec(name=f"resnet18_int{n}", layers=layers)
+        try:
+            latency = round(ChipSimulator().run(net, "heuristic").latency_ms, 3)
+        except CapacityError:
+            latency = "does not fit"
+        result.add_row(
+            n_bits=n,
+            mac_cycles=n * n,
+            slots_per_slice=capacity.vector_slots_per_slice(n),
+            resnet_latency_ms=latency,
+        )
+    return result
+
+
+def run_primitives() -> ExperimentResult:
+    """MAC primitive vs element-wise + reduction on the Table 4 workload."""
+    spec = table4_workload()
+    cache = NeuralCacheModel().run(spec)
+
+    rng = np.random.default_rng(0)
+    a = rng.integers(0, 256, 256)
+    b = rng.integers(0, 256, 256)
+    cmem = CMem()
+    cmem.store_vector_transposed(1, 0, a, 8, signed=False)
+    cmem.store_vector_transposed(1, 8, b, 8, signed=False)
+    value = cmem.mac(1, 0, 8, 8, signed=False)
+    assert value == int(np.dot(a, b))
+
+    result = ExperimentResult(
+        experiment="ablation-primitives",
+        title="Ablation: MAC primitive vs element-wise + reduction",
+        columns=["approach", "cycles_per_dot_product", "notes"],
+    )
+    ew_per_dot = cache.cycles // (49 * 5)
+    result.add_row(
+        approach="element-wise (Neural Cache)",
+        cycles_per_dot_product=ew_per_dot,
+        notes=f"reduction = {cache.reduction_fraction:.0%} of cycles",
+    )
+    result.add_row(
+        approach="adder-tree MAC (MAICC)",
+        cycles_per_dot_product=64,
+        notes="n^2 cycles, scalar straight to a register",
+    )
+    return result
+
+
+def run_placement() -> ExperimentResult:
+    """Placement policy vs one iteration wave's NoC cost."""
+    plan = HeuristicStrategy().plan(
+        resnet18_spec(), PerformanceModel().layer_time_fn()
+    )
+    segment = plan.segments[1]
+    result = ExperimentResult(
+        experiment="ablation-placement",
+        title="Ablation: placement policy (Fig. 7(c)) — one iteration wave",
+        columns=["policy", "flit_hops", "completion_cycles"],
+    )
+    for name, placement in (
+        ("zig-zag", zigzag_placement(segment)),
+        ("raster", raster_placement(segment)),
+        ("random", random_placement(segment, seed=1)),
+    ):
+        traffic = simulate_segment_traffic(segment, placement)
+        result.add_row(
+            policy=name,
+            flit_hops=traffic.flit_hops,
+            completion_cycles=traffic.completion_cycles,
+        )
+    return result
+
+
+def run_batch() -> ExperimentResult:
+    """Batch streaming: throughput toward the steady-state pipeline rate."""
+    sim = ChipSimulator()
+    net = resnet18_spec()
+    result = ExperimentResult(
+        experiment="ablation-batch",
+        title="Ablation: batch streaming on ResNet18",
+        columns=["batch", "total_ms", "samples_per_s", "samples_per_s_per_w"],
+    )
+    for b in (1, 2, 4, 8, 32):
+        run = sim.run(net, "heuristic", batch=b)
+        result.add_row(
+            batch=b,
+            total_ms=round(run.latency_ms, 2),
+            samples_per_s=round(run.throughput_samples_s, 1),
+            samples_per_s_per_w=round(run.throughput_per_watt, 2),
+        )
+    return result

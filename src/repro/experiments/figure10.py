@@ -1,0 +1,36 @@
+"""Figure 10 — area and energy breakdown of the 210-core chip."""
+
+from __future__ import annotations
+
+from repro.core.simulator import ChipSimulator
+from repro.energy.area import area_breakdown
+from repro.experiments.report import ExperimentResult
+from repro.nn.workloads import resnet18_spec
+
+PAPER_AREA = {"cmem": 0.65, "core": 0.11, "local_mem": 0.10, "noc": 0.09, "llc": 0.05}
+PAPER_ENERGY = {"dram": 0.71, "cmem": 0.11, "noc": 0.11}
+
+
+def run(simulator: ChipSimulator = None) -> ExperimentResult:
+    sim = simulator or ChipSimulator()
+    area = area_breakdown(sim.chip.constants)
+    energy = sim.run(resnet18_spec(), "heuristic").energy
+
+    result = ExperimentResult(
+        experiment="figure10",
+        title="Figure 10: area and energy breakdown",
+        columns=["block", "area_fraction", "paper_area", "energy_fraction", "paper_energy"],
+    )
+    area_fr = area.fractions()
+    energy_fr = energy.fractions()
+    for block in ["cmem", "core", "local_mem", "noc", "llc", "dram"]:
+        result.add_row(
+            block=block,
+            area_fraction=round(area_fr[block], 3) if block in area_fr else "",
+            paper_area=PAPER_AREA.get(block, ""),
+            energy_fraction=round(energy_fr[block], 3) if block in energy_fr else "",
+            paper_energy=PAPER_ENERGY.get(block, ""),
+        )
+    result.notes.append(f"total area: {area.total:.1f} mm^2 (paper: 28 mm^2)")
+    result.raw = {"area": area, "energy": energy}
+    return result

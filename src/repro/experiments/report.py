@@ -1,0 +1,63 @@
+"""Uniform result container + plain-text table rendering."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, List
+
+
+@dataclass
+class ExperimentResult:
+    """One regenerated table or figure."""
+
+    experiment: str          # e.g. "table4"
+    title: str
+    columns: List[str]
+    rows: List[Dict[str, Any]] = field(default_factory=list)
+    notes: List[str] = field(default_factory=list)
+    raw: Dict[str, Any] = field(default_factory=dict)
+
+    def add_row(self, **values: Any) -> None:
+        self.rows.append(values)
+
+    def column(self, name: str) -> List[Any]:
+        return [row.get(name) for row in self.rows]
+
+    def row_by(self, key: str, value: Any) -> Dict[str, Any]:
+        for row in self.rows:
+            if row.get(key) == value:
+                return row
+        raise KeyError(f"no row with {key}={value!r}")
+
+
+def _fmt(value: Any) -> str:
+    if isinstance(value, float):
+        if value == 0:
+            return "0"
+        magnitude = abs(value)
+        if magnitude >= 1e5 or magnitude < 1e-3:
+            return f"{value:.3g}"
+        if magnitude >= 100:
+            return f"{value:.0f}"
+        return f"{value:.3g}"
+    return str(value)
+
+
+def format_table(result: ExperimentResult) -> str:
+    """Render an :class:`ExperimentResult` as an aligned text table."""
+    header = [result.title, "=" * len(result.title)]
+    cols = result.columns
+    cells = [[_fmt(row.get(c, "")) for c in cols] for row in result.rows]
+    widths = [
+        max(len(c), *(len(line[i]) for line in cells)) if cells else len(c)
+        for i, c in enumerate(cols)
+    ]
+    lines = ["  ".join(c.ljust(w) for c, w in zip(cols, widths))]
+    lines.append("  ".join("-" * w for w in widths))
+    for line in cells:
+        lines.append("  ".join(v.ljust(w) for v, w in zip(line, widths)))
+    out = header + lines
+    if result.notes:
+        out.append("")
+        out.extend(f"note: {n}" for n in result.notes)
+    return "\n".join(out)

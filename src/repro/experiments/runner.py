@@ -1,0 +1,78 @@
+"""Experiment registry and the ``maicc-experiments`` CLI."""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Callable, Dict
+
+from repro.experiments import ablations, figure9, figure10, table4, table5, table6, table7
+from repro.experiments.report import ExperimentResult, format_table
+
+REGISTRY: Dict[str, Callable[[], ExperimentResult]] = {
+    "table4": table4.run,
+    "table5": table5.run,
+    "table6": table6.run,
+    "table7": table7.run,
+    "figure9": figure9.run,
+    "figure10": figure10.run,
+    "ablation-slices": ablations.run_slices,
+    "ablation-precision": ablations.run_precision,
+    "ablation-primitives": ablations.run_primitives,
+    "ablation-placement": ablations.run_placement,
+    "ablation-batch": ablations.run_batch,
+}
+
+# The paper's own tables/figures, in order — the default CLI set.
+PAPER_EXPERIMENTS = ("table4", "table5", "table6", "table7", "figure9", "figure10")
+
+
+def run_experiment(name: str) -> ExperimentResult:
+    try:
+        runner = REGISTRY[name]
+    except KeyError:
+        raise SystemExit(
+            f"unknown experiment {name!r}; available: {', '.join(sorted(REGISTRY))}"
+        ) from None
+    return runner()
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="maicc-experiments",
+        description="Regenerate the MAICC paper's tables and figures.",
+    )
+    parser.add_argument(
+        "experiments",
+        nargs="*",
+        default=[],
+        help="experiment ids (default: all)",
+        metavar="EXPERIMENT",
+    )
+    parser.add_argument("--list", action="store_true", help="list experiment ids")
+    parser.add_argument(
+        "--all", action="store_true",
+        help="run ablations too (default: the paper's tables/figures)",
+    )
+    args = parser.parse_args(argv)
+    if args.list:
+        for name in sorted(REGISTRY):
+            print(name)
+        return 0
+    if args.experiments:
+        names = args.experiments
+    elif args.all:
+        names = list(PAPER_EXPERIMENTS) + sorted(
+            n for n in REGISTRY if n not in PAPER_EXPERIMENTS
+        )
+    else:
+        names = list(PAPER_EXPERIMENTS)
+    for name in names:
+        result = run_experiment(name)
+        print(format_table(result))
+        print()
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,84 @@
+"""Table 4 — node comparison: scalar core vs MAICC node vs Neural Cache.
+
+Workload: a CONV layer applying five 3x3x256 filters to a 9x9x256 ifmap,
+8-bit operands.  The MAICC column runs the bit-true node simulator (its
+accumulators are checked against NumPy); the scalar column measures the
+software inner loop on the same pipeline; Neural Cache is the calibrated
+primitive-cost model.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.baselines.neural_cache import NeuralCacheModel
+from repro.baselines.scalar_core import ScalarConvBaseline
+from repro.core.node import MAICCNode, table4_workload
+from repro.energy.area import node_area_mm2
+from repro.energy.constants import ChipConstants
+from repro.experiments.report import ExperimentResult
+
+PAPER = {
+    "scalar": {"memory_kb": 20, "area_mm2": 0.052, "energy_j": 1.03e-4, "cycles": 1.24e7},
+    "maicc": {"memory_kb": 20, "area_mm2": 0.114, "energy_j": 3.96e-6, "cycles": 59141},
+    "neural_cache": {"memory_kb": 40, "area_mm2": 0.158, "energy_j": 4.03e-6, "cycles": 136416},
+}
+
+
+def run(seed: int = 42, *, check: bool = True) -> ExperimentResult:
+    spec = table4_workload()
+    constants = ChipConstants()
+    rng = np.random.default_rng(seed)
+    weights = rng.integers(-128, 128, size=(spec.m, spec.c, spec.r, spec.s))
+    bias = rng.integers(-1000, 1000, size=spec.m)
+    ifmap = rng.integers(-128, 128, size=(spec.c, spec.h, spec.w))
+
+    # MAICC node: cycle-level, bit-true.
+    node = MAICCNode(spec, weights, bias)
+    maicc = node.run(ifmap)
+    if check and not np.array_equal(maicc.psums, node.reference(ifmap)):
+        raise AssertionError("MAICC node accumulators diverge from NumPy")
+    seconds = maicc.stats.cycles * constants.cycle_seconds
+    maicc_energy = (
+        maicc.cmem_energy_pj * 1e-12
+        + (constants.core_power_w + constants.local_mem_power_w) * seconds
+        + constants.cmem_leakage_w_per_node * seconds
+    )
+
+    scalar = ScalarConvBaseline().run(spec)
+    scalar_area = constants.core_area_mm2 + 20 / 8 * constants.local_mem_area_mm2
+
+    cache = NeuralCacheModel().run(spec)
+
+    result = ExperimentResult(
+        experiment="table4",
+        title="Table 4: node comparison (5 filters 3x3x256 on 9x9x256, int8)",
+        columns=[
+            "node", "memory_kb", "area_mm2", "energy_j", "cycles",
+            "paper_energy_j", "paper_cycles",
+        ],
+    )
+    result.add_row(
+        node="Scalar core", memory_kb=20, area_mm2=round(scalar_area, 3),
+        energy_j=scalar.energy_j, cycles=scalar.total_cycles,
+        paper_energy_j=PAPER["scalar"]["energy_j"],
+        paper_cycles=PAPER["scalar"]["cycles"],
+    )
+    result.add_row(
+        node="MAICC node", memory_kb=20, area_mm2=round(node_area_mm2(constants), 3),
+        energy_j=maicc_energy, cycles=maicc.stats.cycles,
+        paper_energy_j=PAPER["maicc"]["energy_j"],
+        paper_cycles=PAPER["maicc"]["cycles"],
+    )
+    result.add_row(
+        node="Neural Cache", memory_kb=cache.memory_kb, area_mm2=cache.area_mm2,
+        energy_j=cache.energy_j, cycles=cache.cycles,
+        paper_energy_j=PAPER["neural_cache"]["energy_j"],
+        paper_cycles=PAPER["neural_cache"]["cycles"],
+    )
+    speedup = cache.cycles / maicc.stats.cycles
+    result.notes.append(
+        f"MAICC vs Neural Cache speedup: {speedup:.2f}x (paper: 2.3x)"
+    )
+    result.raw = {"maicc": maicc, "scalar": scalar, "neural_cache": cache}
+    return result

@@ -1,0 +1,80 @@
+"""Table 7 — overall performance of MAICC vs CPU and GPU on ResNet18.
+
+The MAICC row comes from the chip simulator (heuristic mapping); CPU and
+GPU rows come from the calibrated roofline models of
+:mod:`repro.baselines.cpu_gpu` (the silicon itself is unavailable — see
+DESIGN.md substitution #3), with the paper's measured numbers alongside.
+Also reproduces the Sec. 6.3 GFLOPS/W comparison against Neural Cache.
+"""
+
+from __future__ import annotations
+
+from repro.baselines.cpu_gpu import CPU_I9_13900K, GPU_RTX_4090
+from repro.core.simulator import ChipSimulator
+from repro.experiments.report import ExperimentResult
+from repro.nn.workloads import resnet18_spec
+
+PAPER = {
+    "CPU": {"latency_ms": 22.3, "throughput": 44.8, "power_w": 176.4, "thr_per_w": 0.25},
+    "GPU": {"latency_ms": 1.02, "throughput": 980.3, "power_w": 228.6, "thr_per_w": 4.29},
+    "MAICC": {"latency_ms": 5.13, "throughput": 194.9, "power_w": 24.67, "thr_per_w": 7.90},
+}
+PAPER_GFLOPS_PER_W = {"MAICC": 50.03, "NeuralCache": 22.90}
+
+
+def run(simulator: ChipSimulator = None) -> ExperimentResult:
+    sim = simulator or ChipSimulator()
+    network = resnet18_spec()
+    maicc = sim.run(network, "heuristic")
+
+    result = ExperimentResult(
+        experiment="table7",
+        title="Table 7: overall performance on ResNet18 (batch 1)",
+        columns=[
+            "platform", "latency_ms", "throughput", "power_w", "thr_per_w",
+            "paper_latency_ms", "paper_thr_per_w",
+        ],
+    )
+    for platform in (CPU_I9_13900K, GPU_RTX_4090):
+        key = "CPU" if "Intel" in platform.name else "GPU"
+        result.add_row(
+            platform=platform.name,
+            latency_ms=platform.latency_ms(network),
+            throughput=platform.throughput_samples_s(network),
+            power_w=platform.measured_power_w,
+            thr_per_w=platform.throughput_per_watt(network),
+            paper_latency_ms=PAPER[key]["latency_ms"],
+            paper_thr_per_w=PAPER[key]["thr_per_w"],
+        )
+    result.add_row(
+        platform="MAICC (210 cores)",
+        latency_ms=maicc.latency_ms,
+        throughput=maicc.throughput_samples_s,
+        power_w=maicc.average_power_w,
+        thr_per_w=maicc.throughput_per_watt,
+        paper_latency_ms=PAPER["MAICC"]["latency_ms"],
+        paper_thr_per_w=PAPER["MAICC"]["thr_per_w"],
+    )
+
+    cpu_row = result.rows[0]
+    gpu_row = result.rows[1]
+    maicc_row = result.rows[2]
+    result.notes.append(
+        f"throughput vs CPU: {maicc_row['throughput'] / cpu_row['throughput']:.1f}x "
+        "(paper 4.3x); "
+        f"efficiency vs CPU: {maicc_row['thr_per_w'] / cpu_row['thr_per_w']:.1f}x "
+        "(paper 31.6x)"
+    )
+    result.notes.append(
+        f"throughput vs GPU: {maicc_row['throughput'] / gpu_row['throughput']:.2f}x "
+        "(paper 0.20x); "
+        f"efficiency vs GPU: {maicc_row['thr_per_w'] / gpu_row['thr_per_w']:.1f}x "
+        "(paper 1.8x)"
+    )
+    gops = maicc.gops_per_watt(include_dram=False)
+    result.notes.append(
+        f"MAICC GOPS/W excluding DRAM: {gops:.1f} "
+        f"(paper: 50.03 GFLOPS/W vs Neural Cache 22.90)"
+    )
+    result.raw = {"maicc": maicc}
+    return result

@@ -1,0 +1,30 @@
+"""Layer segmentation, node allocation, and zig-zag placement (Sec. 4.3)."""
+
+from repro.mapping.capacity import CapacityModel
+from repro.mapping.allocation import AllocationResult, allocate_segment
+from repro.mapping.segmentation import (
+    GreedyStrategy,
+    HeuristicStrategy,
+    MappingStrategy,
+    Segment,
+    SegmentPlan,
+    SingleLayerStrategy,
+)
+from repro.mapping.placement import NodePlacement, zigzag_placement
+from repro.mapping.tiling import passes_required, tile_network
+
+__all__ = [
+    "passes_required",
+    "tile_network",
+    "CapacityModel",
+    "AllocationResult",
+    "allocate_segment",
+    "GreedyStrategy",
+    "HeuristicStrategy",
+    "MappingStrategy",
+    "Segment",
+    "SegmentPlan",
+    "SingleLayerStrategy",
+    "NodePlacement",
+    "zigzag_placement",
+]

@@ -1,0 +1,188 @@
+"""The three layer-segmentation strategies of Table 6.
+
+* **single-layer** — no segmentation: each layer is its own segment and
+  gets as many cores as it can use (up to the array size); segments run
+  one after another.
+* **greedy** — pack as many layers as possible into each segment, giving
+  every layer only its capacity-minimum node group.
+* **heuristic** (Sec. 4.3) — group adjacent layers with the same ifmap
+  size into one segment (splitting when a group exceeds the array), then
+  balance the workload inside each segment with the Eq. (1) allocator.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+from repro.errors import MappingError
+from repro.mapping.allocation import AllocationResult, TimingFn, allocate_segment
+from repro.mapping.capacity import CapacityModel
+from repro.nn.workloads import ConvLayerSpec, NetworkSpec
+
+
+@dataclass
+class Segment:
+    """One group of layers mapped onto the array simultaneously."""
+
+    layers: List[ConvLayerSpec]
+    allocation: AllocationResult
+
+    @property
+    def layer_indices(self) -> List[int]:
+        return [spec.index for spec in self.layers]
+
+    def nodes_of(self, index: int) -> int:
+        """Total node-group size (computing cores + 1 DC) for one layer."""
+        return self.allocation.nodes[index] + 1
+
+    @property
+    def total_nodes(self) -> int:
+        return self.allocation.total_nodes()
+
+
+@dataclass
+class SegmentPlan:
+    """A full mapping of a network: ordered segments."""
+
+    strategy: str
+    network: NetworkSpec
+    segments: List[Segment] = field(default_factory=list)
+
+    def segment_of(self, layer_index: int) -> Segment:
+        for segment in self.segments:
+            if layer_index in segment.allocation.nodes:
+                return segment
+        raise MappingError(f"layer {layer_index} appears in no segment")
+
+    def nodes_of(self, layer_index: int) -> int:
+        return self.segment_of(layer_index).nodes_of(layer_index)
+
+
+class MappingStrategy:
+    """Base class; subclasses implement :meth:`plan`."""
+
+    name = "base"
+
+    def __init__(
+        self,
+        array_size: int = 208,
+        capacity: Optional[CapacityModel] = None,
+    ) -> None:
+        # The paper's chip has 210 compute tiles; two are reserved for
+        # array-level control/IO, leaving 208 mappable cores (Table 6 caps
+        # the largest layers at 208 nodes).
+        self.array_size = array_size
+        self.capacity = capacity or CapacityModel()
+
+    def plan(self, network: NetworkSpec, timing: TimingFn) -> SegmentPlan:
+        raise NotImplementedError
+
+    # -- shared helpers --------------------------------------------------------
+
+    def _min_group(self, spec: ConvLayerSpec) -> int:
+        """Node-group size (with DC) at the capacity minimum."""
+        return self.capacity.min_nodes(spec, max_nodes=self.array_size - 1) + 1
+
+    def _fits(self, layers: Sequence[ConvLayerSpec]) -> bool:
+        return sum(self._min_group(spec) for spec in layers) <= self.array_size
+
+
+class SingleLayerStrategy(MappingStrategy):
+    """Each layer alone on the array with its maximum useful node count."""
+
+    name = "single-layer"
+
+    def plan(self, network: NetworkSpec, timing: TimingFn) -> SegmentPlan:
+        plan = SegmentPlan(strategy=self.name, network=network)
+        for spec in network:
+            if not self._fits([spec]):
+                raise MappingError(f"{spec.name} does not fit the array alone")
+            allocation = allocate_segment(
+                [spec], self.array_size, timing, self.capacity
+            )
+            plan.segments.append(Segment(layers=[spec], allocation=allocation))
+        return plan
+
+
+class GreedyStrategy(MappingStrategy):
+    """Fill each segment with as many minimum-size node groups as fit."""
+
+    name = "greedy"
+
+    def plan(self, network: NetworkSpec, timing: TimingFn) -> SegmentPlan:
+        plan = SegmentPlan(strategy=self.name, network=network)
+        pending: List[ConvLayerSpec] = []
+        used = 0
+        for spec in network:
+            group = self._min_group(spec)
+            if group > self.array_size:
+                raise MappingError(f"{spec.name} does not fit the array alone")
+            if used + group > self.array_size and pending:
+                plan.segments.append(self._close(pending, timing))
+                pending, used = [], 0
+            pending.append(spec)
+            used += group
+        if pending:
+            plan.segments.append(self._close(pending, timing))
+        return plan
+
+    def _close(self, layers: List[ConvLayerSpec], timing: TimingFn) -> Segment:
+        allocation = AllocationResult()
+        for spec in layers:
+            count = self.capacity.min_nodes(spec, max_nodes=self.array_size - 1)
+            allocation.nodes[spec.index] = count
+            allocation.times[spec.index] = timing(spec, count)
+        allocation.bottleneck_time = max(allocation.times.values())
+        return Segment(layers=list(layers), allocation=allocation)
+
+
+class HeuristicStrategy(MappingStrategy):
+    """Group by ifmap size, then balance with the Eq. (1) allocator."""
+
+    name = "heuristic"
+
+    def plan(self, network: NetworkSpec, timing: TimingFn) -> SegmentPlan:
+        plan = SegmentPlan(strategy=self.name, network=network)
+        groups = self._group_by_ifmap(list(network))
+        for group in groups:
+            for chunk in self._split_to_fit(group):
+                allocation = allocate_segment(
+                    chunk, self.array_size, timing, self.capacity
+                )
+                plan.segments.append(Segment(layers=chunk, allocation=allocation))
+        return plan
+
+    @staticmethod
+    def _group_by_ifmap(layers: List[ConvLayerSpec]) -> List[List[ConvLayerSpec]]:
+        groups: List[List[ConvLayerSpec]] = []
+        for spec in layers:
+            key = (spec.h, spec.w)
+            if groups and (groups[-1][0].h, groups[-1][0].w) == key:
+                groups[-1].append(spec)
+            else:
+                groups.append([spec])
+        return groups
+
+    def _split_to_fit(self, group: List[ConvLayerSpec]) -> List[List[ConvLayerSpec]]:
+        chunks: List[List[ConvLayerSpec]] = []
+        current: List[ConvLayerSpec] = []
+        used = 0
+        for spec in group:
+            size = self._min_group(spec)
+            if size > self.array_size:
+                raise MappingError(f"{spec.name} does not fit the array alone")
+            if used + size > self.array_size and current:
+                chunks.append(current)
+                current, used = [], 0
+            current.append(spec)
+            used += size
+        if current:
+            chunks.append(current)
+        return chunks
+
+
+STRATEGIES: Dict[str, type] = {
+    cls.name: cls
+    for cls in (SingleLayerStrategy, GreedyStrategy, HeuristicStrategy)
+}

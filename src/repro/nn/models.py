@@ -1,0 +1,168 @@
+"""Model builders: ResNet18 (the paper's benchmark) and small test CNNs.
+
+Weights are deterministic pseudo-random (He-style scaling): the paper's
+evaluation measures architecture behaviour, not accuracy, and pretrained
+weights are unavailable offline — the property that matters is that the
+simulated hardware reproduces the reference integer arithmetic exactly.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+import numpy as np
+
+from repro.nn.graph import Graph
+from repro.nn.layers import (
+    Add,
+    AvgPool2d,
+    BatchNorm2d,
+    Conv2d,
+    Flatten,
+    Input,
+    Linear,
+    MaxPool2d,
+    ReLU,
+)
+
+
+def _conv_init(rng: np.ndarray, m: int, c: int, r: int, s: int) -> np.ndarray:
+    fan_in = c * r * s
+    return rng.normal(0.0, np.sqrt(2.0 / fan_in), size=(m, c, r, s))
+
+
+def _bn_init(rng, channels: int) -> BatchNorm2d:
+    return BatchNorm2d(
+        gamma=rng.uniform(0.5, 1.5, channels),
+        beta=rng.normal(0.0, 0.1, channels),
+        running_mean=rng.normal(0.0, 0.2, channels),
+        running_var=rng.uniform(0.5, 1.5, channels),
+    )
+
+
+class _Builder:
+    """Tiny helper tracking the previous node for linear chains."""
+
+    def __init__(self, graph: Graph, rng) -> None:
+        self.graph = graph
+        self.rng = rng
+        self.prev: Optional[str] = None
+
+    def add(self, name: str, layer, inputs=None) -> str:
+        if inputs is None:
+            inputs = [self.prev] if self.prev is not None else []
+        self.graph.add(name, layer, inputs)
+        self.prev = name
+        return name
+
+    def conv_bn_relu(
+        self, name: str, c: int, m: int, *, r: int = 3, stride: int = 1,
+        padding: int = 1, relu: bool = True, inputs=None,
+    ) -> str:
+        conv = Conv2d(_conv_init(self.rng, m, c, r, r), stride=stride, padding=padding)
+        self.add(f"{name}", conv, inputs)
+        self.add(f"{name}_bn", _bn_init(self.rng, m))
+        if relu:
+            self.add(f"{name}_relu", ReLU())
+        return self.prev
+
+
+def build_resnet18(
+    input_shape: Tuple[int, int, int] = (3, 224, 224),
+    num_classes: int = 1000,
+    seed: int = 2023,
+) -> Graph:
+    """ResNet18 (He et al., 2016) as a float graph.
+
+    Layer naming follows the paper's Table 6: stages are ``conv1_x`` ..
+    ``conv4_x`` (each with four 3x3 convolutions), downsample shortcuts are
+    ``shortcutN``, and the classifier is ``linear``.  The stem (7x7 conv +
+    max-pool) is named ``stem``; the paper excludes it from the mapped
+    workload because of its 3-channel parallelism.
+    """
+    rng = np.random.default_rng(seed)
+    graph = Graph()
+    b = _Builder(graph, rng)
+    b.add("input", Input(input_shape))
+    # Stem: 7x7/2 conv + BN + ReLU + 3x3/2 max-pool -> 56x56x64.
+    b.conv_bn_relu("stem", input_shape[0], 64, r=7, stride=2, padding=3)
+    b.add("stem_pool", MaxPool2d(3, 2, 1))
+
+    stage_channels = [64, 128, 256, 512]
+    shortcut_index = {1: 5, 2: 10, 3: 15}
+    in_c = 64
+    for stage, out_c in enumerate(stage_channels, start=1):
+        for block in range(2):
+            downsample = stage > 1 and block == 0
+            stride = 2 if downsample else 1
+            block_input = b.prev
+            conv_a = f"conv{stage}_{2 * block + 1}"
+            conv_b = f"conv{stage}_{2 * block + 2}"
+            b.conv_bn_relu(conv_a, in_c, out_c, stride=stride, inputs=[block_input])
+            b.conv_bn_relu(conv_b, out_c, out_c, relu=False)
+            main = b.prev
+            if downsample:
+                sc = f"shortcut{shortcut_index[stage - 1]}"
+                shortcut_conv = Conv2d(
+                    _conv_init(rng, out_c, in_c, 1, 1), stride=2, padding=0
+                )
+                b.add(sc, shortcut_conv, inputs=[block_input])
+                b.add(f"{sc}_bn", _bn_init(rng, out_c))
+                residual = b.prev
+            else:
+                residual = block_input
+            b.add(f"add{stage}_{block + 1}", Add(), inputs=[main, residual])
+            b.add(f"relu{stage}_{block + 1}", ReLU())
+            in_c = out_c
+
+    b.add("avgpool", AvgPool2d(7))
+    b.add("flatten", Flatten())
+    fan_in = 512
+    weight = rng.normal(0.0, np.sqrt(2.0 / fan_in), size=(num_classes, fan_in))
+    b.add("linear", Linear(weight, rng.normal(0.0, 0.01, num_classes)))
+    return graph
+
+
+def build_small_cnn(
+    input_shape: Tuple[int, int, int] = (8, 8, 8),
+    num_classes: int = 10,
+    seed: int = 7,
+) -> Graph:
+    """A three-conv CNN small enough for bit-true end-to-end simulation."""
+    rng = np.random.default_rng(seed)
+    graph = Graph()
+    b = _Builder(graph, rng)
+    c, h, w = input_shape
+    b.add("input", Input(input_shape))
+    b.conv_bn_relu("conv1", c, 16, stride=1, padding=1)
+    b.conv_bn_relu("conv2", 16, 16, stride=1, padding=1)
+    b.add("pool", MaxPool2d(2))
+    b.conv_bn_relu("conv3", 16, 32, stride=1, padding=1)
+    b.add("gap", AvgPool2d(h // 2))
+    b.add("flatten", Flatten())
+    weight = rng.normal(0.0, 0.25, size=(num_classes, 32))
+    b.add("linear", Linear(weight))
+    return graph
+
+
+def build_residual_cnn(
+    input_shape: Tuple[int, int, int] = (8, 8, 8),
+    num_classes: int = 10,
+    seed: int = 13,
+) -> Graph:
+    """A small network with one residual block (tests QAdd paths)."""
+    rng = np.random.default_rng(seed)
+    graph = Graph()
+    b = _Builder(graph, rng)
+    b.add("input", Input(input_shape))
+    b.conv_bn_relu("conv1", input_shape[0], 16, stride=1, padding=1)
+    trunk = b.prev
+    b.conv_bn_relu("conv2", 16, 16, stride=1, padding=1, inputs=[trunk])
+    b.conv_bn_relu("conv3", 16, 16, relu=False)
+    b.add("res_add", Add(), inputs=[b.prev, trunk])
+    b.add("res_relu", ReLU())
+    b.add("gap", AvgPool2d(input_shape[1]))
+    b.add("flatten", Flatten())
+    weight = rng.normal(0.0, 0.25, size=(num_classes, 16))
+    b.add("linear", Linear(weight))
+    return graph

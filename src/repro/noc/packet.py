@@ -1,0 +1,51 @@
+"""NoC packets and flit sizing.
+
+Remote load/store primitives inject a single packet carrying 32-bit data
+(Sec. 3.1); row-level operations (LoadRow.RC / StoreRow.RC) carry one
+256-bit CMem row.  With 64-bit flits and a head flit of routing metadata,
+a scalar remote access is 2 flits and a row transfer is 5 flits.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum, unique
+
+FLIT_BITS = 64
+
+
+@unique
+class PacketKind(Enum):
+    REMOTE_LOAD_REQ = "remote_load_req"
+    REMOTE_LOAD_REPLY = "remote_load_reply"
+    REMOTE_STORE = "remote_store"
+    ROW_TRANSFER = "row_transfer"
+    DRAM_READ = "dram_read"
+    DRAM_WRITE = "dram_write"
+
+
+_PAYLOAD_BITS = {
+    PacketKind.REMOTE_LOAD_REQ: 0,
+    PacketKind.REMOTE_LOAD_REPLY: 32,
+    PacketKind.REMOTE_STORE: 32,
+    PacketKind.ROW_TRANSFER: 256,
+    PacketKind.DRAM_READ: 256,
+    PacketKind.DRAM_WRITE: 256,
+}
+
+
+@dataclass(frozen=True)
+class Packet:
+    """One NoC packet between two mesh tiles."""
+
+    src: tuple
+    dst: tuple
+    kind: PacketKind
+    payload_bits: int = -1  # -1 = default for the kind
+
+    @property
+    def flits(self) -> int:
+        """Head flit + enough body flits for the payload."""
+        bits = self.payload_bits if self.payload_bits >= 0 else _PAYLOAD_BITS[self.kind]
+        body = (bits + FLIT_BITS - 1) // FLIT_BITS
+        return 1 + body

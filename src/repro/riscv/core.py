@@ -1,0 +1,86 @@
+"""The MAICC node's processor core: pipeline + CMem + local memory.
+
+``Core`` is the single-node facade used by tests, the Table 4/5
+experiments, and the kernel generator: assemble a program, point it at a
+CMem, optionally install remote/DRAM handlers, and run.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Union
+
+from repro.cmem.cmem import CMem, CMemConfig
+from repro.riscv.assembler import assemble
+from repro.riscv.executor import Executor
+from repro.riscv.isa import Instruction
+from repro.riscv.memory import NodeMemory, RemoteHandler
+from repro.riscv.pipeline import Pipeline, PipelineConfig, PipelineStats
+from repro.riscv.registers import RegisterFile
+
+
+@dataclass(frozen=True)
+class CoreConfig:
+    """Per-node configuration: pipeline knobs + CMem geometry.
+
+    The paper's node (Fig. 3(b)): a 5-stage RV32IMA pipeline, a 4 KB
+    instruction cache (not timed separately: single-cycle fetch), a 4 KB
+    data memory, and a 16 KB CMem.
+    """
+
+    pipeline: PipelineConfig = field(default_factory=PipelineConfig)
+    cmem: CMemConfig = field(default_factory=CMemConfig)
+    # Area/power of one core at 28 nm / 1 GHz (paper Sec. 5).
+    area_mm2: float = 0.014
+    power_w: float = 0.008
+
+
+class Core:
+    """One lightweight RISC-V core with an attached CMem."""
+
+    def __init__(
+        self,
+        config: Optional[CoreConfig] = None,
+        *,
+        cmem: Optional[CMem] = None,
+        remote_handler: Optional[RemoteHandler] = None,
+        dram_handler: Optional[RemoteHandler] = None,
+        node_id: int = 0,
+    ) -> None:
+        self.config = config or CoreConfig()
+        self.node_id = node_id
+        self.cmem = cmem if cmem is not None else CMem(self.config.cmem)
+        self.regs = RegisterFile()
+        self.memory = NodeMemory(
+            slice0=self.cmem.slice0,
+            remote_handler=remote_handler,
+            dram_handler=dram_handler,
+        )
+        self.executor = Executor(self.regs, self.memory, self.cmem)
+        self.last_stats: Optional[PipelineStats] = None
+
+    def run(
+        self,
+        program: Union[str, List[Instruction]],
+        *,
+        max_instructions: Optional[int] = None,
+    ) -> PipelineStats:
+        """Assemble (if needed) and run a program to completion."""
+        if isinstance(program, str):
+            program = assemble(program)
+        pipeline = Pipeline(
+            program,
+            self.executor,
+            self.config.pipeline,
+            num_cmem_slices=self.cmem.config.num_slices,
+        )
+        self.last_stats = pipeline.run(max_instructions=max_instructions)
+        return self.last_stats
+
+    # -- convenience for tests / experiments ---------------------------------
+
+    def write_dmem_word(self, addr: int, value: int) -> None:
+        self.memory.store(addr, 4, value)
+
+    def read_dmem_word(self, addr: int) -> int:
+        return self.memory.load(addr, 4)

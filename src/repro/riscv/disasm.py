@@ -1,0 +1,79 @@
+"""Disassembler: Instruction objects back to canonical assembly text.
+
+Round-trips with :func:`repro.riscv.assembler.assemble` (branch targets
+become generated labels), used for debugging generated kernels and for
+the assembler's property tests.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence
+
+from repro.errors import DecodeError
+from repro.riscv.isa import Instruction
+from repro.riscv.registers import reg_name
+
+
+def _format_one(instr: Instruction, labels: Dict[int, str]) -> str:
+    op = instr.opcode
+    spec = instr.spec
+    cm = instr.cm
+    if spec.cmem_op is not None:
+        if op in ("mac.c", "macu.c"):
+            return (f"{op} {reg_name(instr.rd)}, {cm['slice']}, "
+                    f"{cm['row_a']}, {cm['row_b']}, {cm['n']}")
+        if op == "move.c":
+            return (f"{op} {cm['src_slice']}, {cm['src_row']}, "
+                    f"{cm['dst_slice']}, {cm['dst_row']}, {cm['n']}")
+        if op == "setrow.c":
+            return f"{op} {cm['slice']}, {cm['row']}, {cm['value']}"
+        if op == "shiftrow.c":
+            return f"{op} {cm['slice']}, {cm['row']}, {cm['words']}"
+        if op in ("loadrow.rc", "storerow.rc"):
+            return f"{op} {cm['slice']}, {cm['row']}, {reg_name(instr.rs1)}"
+        if op == "setcsr.c":
+            return f"{op} {cm['slice']}, {cm['mask']:#x}"
+        raise DecodeError(f"cannot format CMem op {op!r}")
+    if op in ("nop", "halt", "ecall"):
+        return op
+    if op in ("lui", "auipc", "li"):
+        return f"{op} {reg_name(instr.rd)}, {instr.imm}"
+    if op == "mv":
+        return f"{op} {reg_name(instr.rd)}, {reg_name(instr.rs1)}"
+    if spec.is_load and not spec.is_atomic:
+        return f"{op} {reg_name(instr.rd)}, {instr.imm}({reg_name(instr.rs1)})"
+    if spec.is_store and not spec.is_atomic:
+        return f"{op} {reg_name(instr.rs2)}, {instr.imm}({reg_name(instr.rs1)})"
+    if spec.is_atomic:
+        if op == "lr.w":
+            return f"{op} {reg_name(instr.rd)}, {instr.imm}({reg_name(instr.rs1)})"
+        return (f"{op} {reg_name(instr.rd)}, {reg_name(instr.rs2)}, "
+                f"{instr.imm}({reg_name(instr.rs1)})")
+    if spec.is_branch:
+        if op == "j":
+            return f"{op} {labels[instr.target]}"
+        if op == "jal":
+            return f"{op} {reg_name(instr.rd)}, {labels[instr.target]}"
+        if op == "jalr":
+            return (f"{op} {reg_name(instr.rd)}, {reg_name(instr.rs1)}, "
+                    f"{instr.imm}")
+        return (f"{op} {reg_name(instr.rs1)}, {reg_name(instr.rs2)}, "
+                f"{labels[instr.target]}")
+    if spec.reads_rs2:
+        return (f"{op} {reg_name(instr.rd)}, {reg_name(instr.rs1)}, "
+                f"{reg_name(instr.rs2)}")
+    return f"{op} {reg_name(instr.rd)}, {reg_name(instr.rs1)}, {instr.imm}"
+
+
+def disassemble(program: Sequence[Instruction]) -> str:
+    """Render a program as assembly text that re-assembles equivalently."""
+    labels: Dict[int, str] = {}
+    for instr in program:
+        if instr.target is not None and instr.target not in labels:
+            labels[instr.target] = f"L{instr.target}"
+    lines: List[str] = []
+    for index, instr in enumerate(program):
+        if index in labels:
+            lines.append(f"{labels[index]}:")
+        lines.append(f"    {_format_one(instr, labels)}")
+    return "\n".join(lines)

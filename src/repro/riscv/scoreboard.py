@@ -1,0 +1,44 @@
+"""Scoreboard state: per-register availability for hazard detection.
+
+The MAICC core issues in order and completes out of order; the scoreboard
+blocks issue on RAW (source not yet produced) and WAW (an in-flight write
+to the same destination) hazards, exactly the mechanism the paper uses to
+let multi-cycle instructions (idiv, remote requests, CMem extension ops)
+proceed without blocking the pipeline.
+"""
+
+from __future__ import annotations
+
+from repro.riscv.registers import NUM_REGS
+
+
+class Scoreboard:
+    """Tracks, for every architectural register, when its value is ready."""
+
+    def __init__(self) -> None:
+        # reg_ready[r] = first cycle at which a dependent may issue.
+        self.reg_ready = [0] * NUM_REGS
+
+    def ready_time(self, reg: int) -> int:
+        """Earliest issue cycle for a reader of ``reg`` (x0 is always ready)."""
+        if reg == 0:
+            return 0
+        return self.reg_ready[reg]
+
+    def write_time(self, reg: int) -> int:
+        """Earliest issue cycle for a *writer* of ``reg`` (WAW ordering).
+
+        A scoreboard without renaming cannot have two outstanding writes to
+        one register, so a new writer waits for the previous one to retire.
+        """
+        if reg == 0:
+            return 0
+        return self.reg_ready[reg]
+
+    def set_ready(self, reg: int, cycle: int) -> None:
+        if reg == 0:
+            return
+        self.reg_ready[reg] = cycle
+
+    def reset(self) -> None:
+        self.reg_ready = [0] * NUM_REGS

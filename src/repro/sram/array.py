@@ -1,0 +1,163 @@
+"""A bit-true model of an SRAM array with multi-row activation.
+
+The array is a grid of single-bit cells addressed by (word-line row,
+bit-line column).  A standard array is 256 x 256 (8 KB); MAICC's CMem
+slices are 64 x 256 (2 KB).  Besides normal single-row read/write the model
+supports the bit-line computing primitive of Jeloka et al.: activating two
+word-lines simultaneously drives each bit-line pair to the AND (BL) and NOR
+(BLB) of the two stored bits.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Sequence
+
+import numpy as np
+
+from repro.errors import ConfigurationError, SRAMError
+from repro.sram.bitline import BitlineResult, bitline_and_nor
+
+
+@dataclass(frozen=True)
+class SRAMArrayConfig:
+    """Geometry of one SRAM array.
+
+    ``rows`` is the number of word-lines, ``cols`` the number of bit-lines.
+    ``eight_transistor`` marks 8T cells (used by CMem slice 0) which allow
+    simultaneous, non-destructive read and write ports.
+    """
+
+    rows: int = 256
+    cols: int = 256
+    eight_transistor: bool = False
+
+    def __post_init__(self) -> None:
+        if self.rows < 1 or self.cols < 1:
+            raise ConfigurationError(
+                f"SRAM array must have positive dimensions, got {self.rows}x{self.cols}"
+            )
+
+    @property
+    def capacity_bits(self) -> int:
+        return self.rows * self.cols
+
+    @property
+    def capacity_bytes(self) -> int:
+        return self.capacity_bits // 8
+
+
+@dataclass
+class SRAMStats:
+    """Operation counters used by the energy model."""
+
+    reads: int = 0
+    writes: int = 0
+    compute_activations: int = 0
+
+    def merge(self, other: "SRAMStats") -> None:
+        self.reads += other.reads
+        self.writes += other.writes
+        self.compute_activations += other.compute_activations
+
+
+class SRAMArray:
+    """Bit-true SRAM array with single-row access and dual-row computing."""
+
+    def __init__(self, config: SRAMArrayConfig = SRAMArrayConfig()) -> None:
+        self.config = config
+        self._cells = np.zeros((config.rows, config.cols), dtype=np.uint8)
+        self.stats = SRAMStats()
+
+    # -- bounds checking ---------------------------------------------------
+
+    def _check_row(self, row: int) -> None:
+        if not 0 <= row < self.config.rows:
+            raise SRAMError(
+                f"row {row} out of range [0, {self.config.rows})"
+            )
+
+    def _check_cols(self, col_start: int, width: int) -> None:
+        if col_start < 0 or col_start + width > self.config.cols:
+            raise SRAMError(
+                f"columns [{col_start}, {col_start + width}) out of range "
+                f"[0, {self.config.cols})"
+            )
+
+    # -- conventional access -----------------------------------------------
+
+    def read_row(self, row: int) -> np.ndarray:
+        """Read one full word-line as a 0/1 vector (a copy)."""
+        self._check_row(row)
+        self.stats.reads += 1
+        return self._cells[row].copy()
+
+    def write_row(self, row: int, bits: Sequence[int]) -> None:
+        """Write one full word-line from a 0/1 vector."""
+        self._check_row(row)
+        bits = np.asarray(bits, dtype=np.uint8)
+        if bits.shape != (self.config.cols,):
+            raise SRAMError(
+                f"row write expects {self.config.cols} bits, got shape {bits.shape}"
+            )
+        if bits.size and bits.max() > 1:
+            raise SRAMError("row bits must be 0/1")
+        self.stats.writes += 1
+        self._cells[row] = bits
+
+    def read_bits(self, row: int, col_start: int, width: int) -> np.ndarray:
+        """Read ``width`` bits of one row starting at ``col_start``."""
+        self._check_row(row)
+        self._check_cols(col_start, width)
+        self.stats.reads += 1
+        return self._cells[row, col_start : col_start + width].copy()
+
+    def write_bits(self, row: int, col_start: int, bits: Sequence[int]) -> None:
+        """Write a bit slice into one row starting at ``col_start``."""
+        bits = np.asarray(bits, dtype=np.uint8)
+        self._check_row(row)
+        self._check_cols(col_start, bits.shape[0])
+        self.stats.writes += 1
+        self._cells[row, col_start : col_start + bits.shape[0]] = bits
+
+    def clear(self) -> None:
+        """Zero the whole array (power-on state)."""
+        self._cells[:] = 0
+
+    # -- bit-line computing -------------------------------------------------
+
+    def activate_pair(self, row_a: int, row_b: int) -> BitlineResult:
+        """Activate two word-lines at once (Jeloka et al. bit-line computing).
+
+        Returns the AND/NOR sensed on the bit-lines.  Activating the same
+        row twice is rejected: real hardware would short a cell against
+        itself and the architecture never needs it.
+        """
+        self._check_row(row_a)
+        self._check_row(row_b)
+        if row_a == row_b:
+            raise SRAMError("cannot activate the same word-line twice")
+        self.stats.compute_activations += 1
+        return bitline_and_nor(self._cells[row_a], self._cells[row_b])
+
+    # -- convenience -------------------------------------------------------
+
+    def snapshot(self) -> np.ndarray:
+        """Copy of the full cell matrix (debugging / tests only)."""
+        return self._cells.copy()
+
+    def load(self, cells: np.ndarray) -> None:
+        """Bulk-load the full cell matrix (test fixture helper)."""
+        cells = np.asarray(cells, dtype=np.uint8)
+        if cells.shape != self._cells.shape:
+            raise SRAMError(
+                f"expected shape {self._cells.shape}, got {cells.shape}"
+            )
+        self._cells[:] = cells
+
+    def rows_view(self, rows: Iterable[int]) -> np.ndarray:
+        """Stacked copy of the given rows (used by the transpose unit)."""
+        rows = list(rows)
+        for row in rows:
+            self._check_row(row)
+        return self._cells[rows].copy()

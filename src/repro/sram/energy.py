@@ -1,0 +1,54 @@
+"""Per-operation energy model of the CMem SRAM arrays.
+
+The constants come straight from the paper's SPICE/Design-Compiler
+measurements (Sec. 5, System Model), already scaled to 28 nm:
+
+* vertical write into slice 0:           4.75 pJ
+* Move.C (inter-slice vector move):     52.75 pJ
+* MAC.C (one full vector MAC):          28.25 pJ
+* remote row load/store (LoadRow.RC):   53.01 pJ
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass(frozen=True)
+class SRAMEnergy:
+    """Energy per CMem operation in picojoules (paper Sec. 5)."""
+
+    vertical_write_pj: float = 4.75
+    move_pj: float = 52.75
+    mac_pj: float = 28.25
+    remote_row_pj: float = 53.01
+    # Plain array accesses, estimated from the vertical-write figure: a
+    # single-row read/write touches the same bit-lines once.
+    read_row_pj: float = 4.75
+    write_row_pj: float = 4.75
+
+
+@dataclass
+class EnergyAccumulator:
+    """Mutable tally of CMem energy, in picojoules."""
+
+    energy: SRAMEnergy = field(default_factory=SRAMEnergy)
+    total_pj: float = 0.0
+    by_op: dict = field(default_factory=dict)
+
+    def charge(self, op: str, count: int = 1) -> None:
+        per_op = {
+            "vertical_write": self.energy.vertical_write_pj,
+            "move": self.energy.move_pj,
+            "mac": self.energy.mac_pj,
+            "remote_row": self.energy.remote_row_pj,
+            "read_row": self.energy.read_row_pj,
+            "write_row": self.energy.write_row_pj,
+        }[op]
+        amount = per_op * count
+        self.total_pj += amount
+        self.by_op[op] = self.by_op.get(op, 0.0) + amount
+
+    @property
+    def total_joules(self) -> float:
+        return self.total_pj * 1e-12

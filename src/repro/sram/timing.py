@@ -1,0 +1,23 @@
+"""Cycle-cost constants for SRAM operations at the array level.
+
+The paper runs the whole chip at a conservative 1 GHz "as bit-line computing
+requires longer latency than conventional memory accesses" (Sec. 6.3), so a
+compute activation fits one cycle at that frequency.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class SRAMTiming:
+    """Per-operation cycle costs of one SRAM array."""
+
+    read_cycles: int = 1
+    write_cycles: int = 1
+    compute_activation_cycles: int = 1
+    clock_ghz: float = 1.0
+
+    def cycles_to_seconds(self, cycles: int) -> float:
+        return cycles / (self.clock_ghz * 1e9)

@@ -1,0 +1,99 @@
+"""A minimal discrete-event simulation kernel.
+
+Used by the NoC and the many-core streaming simulator.  Events carry a
+timestamp, a monotonically increasing sequence number (for deterministic
+FIFO ordering among simultaneous events), and an arbitrary callback.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from dataclasses import dataclass, field
+from typing import Any, Callable, Optional
+
+from repro.errors import SimulationError
+
+
+@dataclass(order=True)
+class Event:
+    """A scheduled callback.  Ordering is (time, seq)."""
+
+    time: float
+    seq: int
+    action: Callable[[], Any] = field(compare=False)
+    tag: str = field(default="", compare=False)
+
+
+class EventQueue:
+    """Deterministic discrete-event queue.
+
+    >>> q = EventQueue()
+    >>> hits = []
+    >>> _ = q.schedule(5, lambda: hits.append("b"))
+    >>> _ = q.schedule(1, lambda: hits.append("a"))
+    >>> q.run()
+    >>> hits
+    ['a', 'b']
+    """
+
+    def __init__(self) -> None:
+        self._heap: list[Event] = []
+        self._counter = itertools.count()
+        self._now = 0.0
+        self._processed = 0
+
+    @property
+    def now(self) -> float:
+        """Current simulation time (time of the last dispatched event)."""
+        return self._now
+
+    @property
+    def processed(self) -> int:
+        """Total number of events dispatched so far."""
+        return self._processed
+
+    def __len__(self) -> int:
+        return len(self._heap)
+
+    def schedule(self, time: float, action: Callable[[], Any], tag: str = "") -> Event:
+        """Schedule ``action`` at absolute ``time``; returns the Event."""
+        if time < self._now:
+            raise SimulationError(
+                f"cannot schedule event at t={time} before current time {self._now}"
+            )
+        event = Event(time=time, seq=next(self._counter), action=action, tag=tag)
+        heapq.heappush(self._heap, event)
+        return event
+
+    def schedule_in(self, delay: float, action: Callable[[], Any], tag: str = "") -> Event:
+        """Schedule ``action`` ``delay`` time units from now."""
+        if delay < 0:
+            raise SimulationError(f"negative delay {delay}")
+        return self.schedule(self._now + delay, action, tag)
+
+    def step(self) -> Optional[Event]:
+        """Dispatch the next event; returns it, or None when empty."""
+        if not self._heap:
+            return None
+        event = heapq.heappop(self._heap)
+        self._now = event.time
+        self._processed += 1
+        event.action()
+        return event
+
+    def run(self, until: Optional[float] = None, max_events: Optional[int] = None) -> float:
+        """Run until the queue drains, ``until`` passes, or ``max_events`` hit.
+
+        Returns the simulation time after the run.
+        """
+        dispatched = 0
+        while self._heap:
+            if until is not None and self._heap[0].time > until:
+                self._now = until
+                break
+            if max_events is not None and dispatched >= max_events:
+                break
+            self.step()
+            dispatched += 1
+        return self._now

@@ -1,0 +1,84 @@
+"""Fixed-point helpers shared by the quantizer and the simulators."""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+import numpy as np
+
+from repro.errors import QuantizationError
+
+
+def clamp(values: np.ndarray, lo: int, hi: int) -> np.ndarray:
+    """Clamp an integer array into ``[lo, hi]``."""
+    return np.clip(values, lo, hi)
+
+
+def saturate(values: np.ndarray, n_bits: int, *, signed: bool = True) -> np.ndarray:
+    """Saturate values to the representable ``n_bits`` fixed-point range."""
+    if signed:
+        lo, hi = -(1 << (n_bits - 1)), (1 << (n_bits - 1)) - 1
+    else:
+        lo, hi = 0, (1 << n_bits) - 1
+    return clamp(np.asarray(values), lo, hi)
+
+
+def choose_scale(values: np.ndarray, n_bits: int, *, signed: bool = True) -> float:
+    """Pick a symmetric linear-quantization scale covering ``values``.
+
+    The scale maps the largest magnitude onto the extreme representable
+    level, i.e. ``real = scale * q``.
+    """
+    values = np.asarray(values, dtype=np.float64)
+    max_abs = float(np.max(np.abs(values))) if values.size else 0.0
+    if max_abs == 0.0:
+        return 1.0
+    levels = (1 << (n_bits - 1)) - 1 if signed else (1 << n_bits) - 1
+    return max_abs / levels
+
+
+def quantize_linear(
+    values: np.ndarray, scale: float, n_bits: int, *, signed: bool = True
+) -> np.ndarray:
+    """Linear (affine, zero-point 0) quantization: ``q = round(x / scale)``."""
+    if scale <= 0:
+        raise QuantizationError(f"scale must be positive, got {scale}")
+    q = np.rint(np.asarray(values, dtype=np.float64) / scale).astype(np.int64)
+    return saturate(q, n_bits, signed=signed)
+
+
+def dequantize_linear(q: np.ndarray, scale: float) -> np.ndarray:
+    """Inverse of :func:`quantize_linear`: ``x = scale * q``."""
+    if scale <= 0:
+        raise QuantizationError(f"scale must be positive, got {scale}")
+    return np.asarray(q, dtype=np.float64) * scale
+
+
+def requantize(
+    acc: np.ndarray,
+    in_scale: float,
+    out_scale: float,
+    n_bits: int,
+    *,
+    signed: bool = True,
+) -> np.ndarray:
+    """Rescale a wide accumulator back to ``n_bits`` at a new scale.
+
+    This is the integer-only requantization step between fused layers
+    (Jacob et al., CVPR 2018): the int32 accumulator carries scale
+    ``in_scale`` and is rounded into the ``out_scale`` grid.
+    """
+    if in_scale <= 0 or out_scale <= 0:
+        raise QuantizationError("scales must be positive")
+    ratio = in_scale / out_scale
+    q = np.rint(np.asarray(acc, dtype=np.float64) * ratio).astype(np.int64)
+    return saturate(q, n_bits, signed=signed)
+
+
+def fixed_range(n_bits: int, *, signed: bool = True) -> Tuple[int, int]:
+    """Return the ``(lo, hi)`` representable range for ``n_bits``."""
+    if n_bits < 1:
+        raise QuantizationError(f"n_bits must be >= 1, got {n_bits}")
+    if signed:
+        return -(1 << (n_bits - 1)), (1 << (n_bits - 1)) - 1
+    return 0, (1 << n_bits) - 1

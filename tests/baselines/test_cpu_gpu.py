@@ -1,0 +1,46 @@
+"""CPU/GPU roofline models vs the paper's Table 7 measurements."""
+
+import pytest
+
+from repro.baselines.cpu_gpu import CPU_I9_13900K, GPU_RTX_4090
+from repro.nn.workloads import resnet18_spec
+
+
+@pytest.fixture(scope="module")
+def network():
+    return resnet18_spec()
+
+
+class TestCalibration:
+    def test_cpu_latency_near_paper(self, network):
+        """Paper: 22.3 ms."""
+        assert CPU_I9_13900K.latency_ms(network) == pytest.approx(22.3, rel=0.1)
+
+    def test_gpu_latency_near_paper(self, network):
+        """Paper: 1.02 ms."""
+        assert GPU_RTX_4090.latency_ms(network) == pytest.approx(1.02, rel=0.1)
+
+    def test_cpu_throughput_per_watt(self, network):
+        """Paper: 0.25 samples/s/W."""
+        assert CPU_I9_13900K.throughput_per_watt(network) == pytest.approx(0.25, rel=0.15)
+
+    def test_gpu_throughput_per_watt(self, network):
+        """Paper: 4.29 samples/s/W."""
+        assert GPU_RTX_4090.throughput_per_watt(network) == pytest.approx(4.29, rel=0.15)
+
+
+class TestModelStructure:
+    def test_peak_from_table3_specs(self):
+        # 24 cores x 3 GHz x 8 lanes x 2 (FMA) = 1152 GFLOPS.
+        assert CPU_I9_13900K.peak_gflops == pytest.approx(1152.0)
+        # 16384 CUDA cores x 2.235 GHz x 2 = 73.2 TFLOPS.
+        assert GPU_RTX_4090.peak_gflops == pytest.approx(73236.48)
+
+    def test_efficiency_derates_peak(self):
+        assert CPU_I9_13900K.effective_gflops < CPU_I9_13900K.peak_gflops
+
+    def test_latency_scales_with_work(self, network):
+        from repro.nn.workloads import small_cnn_spec
+
+        small = small_cnn_spec()
+        assert CPU_I9_13900K.latency_ms(small) < CPU_I9_13900K.latency_ms(network)

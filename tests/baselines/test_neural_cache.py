@@ -1,0 +1,51 @@
+"""Neural Cache model vs the paper's Table 4 column."""
+
+import pytest
+
+from repro.baselines.neural_cache import NeuralCacheModel
+from repro.core.node import table4_workload
+
+
+@pytest.fixture(scope="module")
+def result():
+    return NeuralCacheModel().run(table4_workload())
+
+
+class TestTable4Column:
+    def test_cycles_near_paper(self, result):
+        """Paper: 136416 cycles."""
+        assert result.cycles == pytest.approx(136416, rel=0.05)
+
+    def test_energy_near_paper(self, result):
+        """Paper: 4.03e-6 J."""
+        assert result.energy_j == pytest.approx(4.03e-6, rel=0.05)
+
+    def test_memory_is_40kb(self, result):
+        assert result.memory_kb == 40
+
+    def test_area_from_paper(self, result):
+        assert result.area_mm2 == 0.158
+
+
+class TestReductionShare:
+    def test_reduction_near_23_percent(self, result):
+        """Sec. 3.2: reduction takes up 23% of Neural Cache's cycles."""
+        assert result.reduction_fraction == pytest.approx(0.23, abs=0.02)
+
+    def test_components_sum(self, result):
+        assert result.cycles == (
+            result.multiply_cycles + result.accumulate_cycles
+            + result.reduction_cycles
+        )
+
+
+class TestScaling:
+    def test_passes_scale_with_filters(self):
+        from repro.nn.workloads import ConvLayerSpec
+
+        small = ConvLayerSpec(0, "s", h=9, w=9, c=256, m=4, padding=0)
+        large = ConvLayerSpec(0, "l", h=9, w=9, c=256, m=8, padding=0)
+        model = NeuralCacheModel()
+        assert model.run(large).cycles == 2 * model.run(small).cycles
+        assert model.run(small).passes == 1
+        assert model.run(large).passes == 2

@@ -1,0 +1,41 @@
+"""Scalar software-conv baseline vs the paper's Table 4 column."""
+
+import pytest
+
+from repro.baselines.scalar_core import ScalarConvBaseline
+from repro.core.node import table4_workload
+
+
+@pytest.fixture(scope="module")
+def baseline():
+    return ScalarConvBaseline()
+
+
+class TestMeasurement:
+    def test_inner_loop_measured_on_pipeline(self, baseline):
+        cpm = baseline.measure_cycles_per_mac()
+        assert 5 < cpm < 30
+
+    def test_measurement_cached(self, baseline):
+        assert baseline.measure_cycles_per_mac() == baseline.measure_cycles_per_mac()
+
+
+class TestTable4Column:
+    def test_cycles_near_paper(self, baseline):
+        """Paper: 1.24e7 cycles."""
+        result = baseline.run(table4_workload())
+        assert result.total_cycles == pytest.approx(1.24e7, rel=0.1)
+
+    def test_energy_near_paper(self, baseline):
+        """Paper: 1.03e-4 J."""
+        result = baseline.run(table4_workload())
+        assert result.energy_j == pytest.approx(1.03e-4, rel=0.1)
+
+    def test_macs_counted(self, baseline):
+        result = baseline.run(table4_workload())
+        assert result.total_macs == 49 * 5 * 9 * 256
+
+    def test_orders_of_magnitude_slower_than_maicc(self, baseline):
+        """Paper: scalar 1.24e7 vs MAICC node 5.9e4 cycles (~200x)."""
+        result = baseline.run(table4_workload())
+        assert result.total_cycles > 100 * 59141

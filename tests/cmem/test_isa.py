@@ -1,0 +1,37 @@
+"""Table 2 cycle costs of the CMem ISA extension."""
+
+import pytest
+
+from repro.cmem.isa import CMemOp, CMemOpCost, cmem_op_cycles
+from repro.errors import CMemError
+
+
+class TestTable2:
+    """The exact cycle counts of the paper's Table 2."""
+
+    @pytest.mark.parametrize("n", [2, 4, 8, 16])
+    def test_mac_is_n_squared(self, n):
+        assert cmem_op_cycles(CMemOp.MAC_C, n) == n * n
+
+    @pytest.mark.parametrize("n", [2, 4, 8, 16])
+    def test_move_is_n(self, n):
+        assert cmem_op_cycles(CMemOp.MOVE_C, n) == n
+
+    def test_setrow_single_cycle(self):
+        assert cmem_op_cycles(CMemOp.SETROW_C) == 1
+
+    def test_shiftrow_read_plus_write(self):
+        assert cmem_op_cycles(CMemOp.SHIFTROW_C) == 2
+
+    def test_remote_rows_single_cycle_occupancy(self):
+        assert cmem_op_cycles(CMemOp.LOADROW_RC) == 1
+        assert cmem_op_cycles(CMemOp.STOREROW_RC) == 1
+
+    def test_invalid_width(self):
+        with pytest.raises(CMemError):
+            cmem_op_cycles(CMemOp.MAC_C, 0)
+
+    def test_cost_dataclass(self):
+        cost = CMemOpCost.of(CMemOp.MAC_C, 8)
+        assert cost.cycles == 64
+        assert cost.op is CMemOp.MAC_C

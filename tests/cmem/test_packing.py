@@ -1,0 +1,106 @@
+"""Lane packing of sub-256-channel vectors (Sec. 3.3's ShiftRow + CSR).
+
+When C < 256, up to floor(256/C) vectors share one row group.  Packing
+*same-filter* pixels with their matching ifmap pixels lets a single
+unmasked MAC.C sum several filter-pixel contributions at once; packing
+*different* filters requires CSR masking to isolate each filter's lanes.
+Both modes are exercised bit-true here, including ShiftRow.C alignment.
+"""
+
+import numpy as np
+import pytest
+
+from repro.cmem.cmem import CMem
+
+
+def place_packed(cmem, slice_index, base_row, vectors, lane_width=64):
+    """Put each 64-channel vector at its own lane-group offset."""
+    for k, vec in enumerate(vectors):
+        cmem.store_vector_transposed(
+            slice_index, base_row, vec, 8, signed=True, col_offset=k * lane_width
+        )
+
+
+class TestSameFilterPacking:
+    """One MAC covers p filter pixels of the SAME filter."""
+
+    def test_packed_mac_sums_all_contributions(self):
+        rng = np.random.default_rng(0)
+        c = 64
+        filter_pixels = [rng.integers(-128, 128, c) for _ in range(4)]
+        ifmap_pixels = [rng.integers(-128, 128, c) for _ in range(4)]
+        cmem = CMem()
+        place_packed(cmem, 1, 0, ifmap_pixels)
+        place_packed(cmem, 1, 8, filter_pixels)
+        got = cmem.mac(1, 0, 8, 8, signed=True, mask=0xFF)
+        want = sum(int(np.dot(w, x)) for w, x in zip(filter_pixels, ifmap_pixels))
+        assert got == want
+
+    def test_partial_packing_with_mask(self):
+        """Only two of four lane groups are populated and enabled."""
+        rng = np.random.default_rng(1)
+        c = 64
+        ws = [rng.integers(-128, 128, c) for _ in range(2)]
+        xs = [rng.integers(-128, 128, c) for _ in range(2)]
+        cmem = CMem()
+        place_packed(cmem, 2, 0, xs)
+        place_packed(cmem, 2, 8, ws)
+        got = cmem.mac(2, 0, 8, 8, signed=True, mask=0x0F)  # lanes 0-3 = 128 cols
+        want = sum(int(np.dot(w, x)) for w, x in zip(ws, xs))
+        assert got == want
+
+
+class TestDifferentFilterPacking:
+    """Different filters on one row group need per-filter masked MACs."""
+
+    def test_masked_macs_isolate_each_filter(self):
+        rng = np.random.default_rng(2)
+        c = 64
+        filters = [rng.integers(-128, 128, c) for _ in range(4)]
+        x = rng.integers(-128, 128, c)
+        cmem = CMem()
+        # The SAME ifmap pixel replicated into all four lane groups (this
+        # is what the DC's replication writes achieve).
+        place_packed(cmem, 3, 0, [x] * 4)
+        place_packed(cmem, 3, 8, filters)
+        for k, w in enumerate(filters):
+            lanes = 0b11 << (2 * k)  # each 64-channel group = 2 CSR lanes
+            got = cmem.mac(3, 0, 8, 8, signed=True, mask=lanes)
+            assert got == int(np.dot(w, x)), f"filter {k}"
+
+    def test_unmasked_mac_would_mix_filters(self):
+        rng = np.random.default_rng(3)
+        c = 64
+        filters = [rng.integers(-128, 128, c) for _ in range(4)]
+        x = rng.integers(-128, 128, c)
+        cmem = CMem()
+        place_packed(cmem, 4, 0, [x] * 4)
+        place_packed(cmem, 4, 8, filters)
+        got = cmem.mac(4, 0, 8, 8, signed=True, mask=0xFF)
+        assert got == sum(int(np.dot(w, x)) for w in filters)
+
+
+class TestShiftRowAlignment:
+    def test_shift_aligns_vector_to_its_lane_group(self):
+        """A vector written at offset 0 moves to lane group 1 with one
+        ShiftRow.C of +2 words (64 bits)."""
+        rng = np.random.default_rng(4)
+        c = 64
+        w = rng.integers(-128, 128, c)
+        x = rng.integers(-128, 128, c)
+        cmem = CMem()
+        # Ifmap vector lands at offset 0 (as the DC wrote it)...
+        cmem.store_vector_transposed(5, 0, x, 8, signed=True, col_offset=0)
+        # ...but this filter pixel lives in lane group 1.
+        cmem.store_vector_transposed(5, 8, w, 8, signed=True, col_offset=64)
+        for row in range(8):
+            cmem.shift_row(5, row, 2)  # 2 x 32-bit words = 64 lanes
+        got = cmem.mac(5, 0, 8, 8, signed=True, mask=0b1100)
+        assert got == int(np.dot(w, x))
+
+    def test_shift_cost_accounted(self):
+        cmem = CMem()
+        cmem.set_row(1, 0, 1)
+        before = cmem.stats.busy_cycles
+        cmem.shift_row(1, 0, 1)
+        assert cmem.stats.busy_cycles - before == 2  # read + write

@@ -1,0 +1,159 @@
+"""Auxiliary-function kernels: correct and measurably cheap."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.core.aux_kernels import (
+    lut_kernel,
+    maxpool2x2_kernel,
+    relu_kernel,
+    requant_kernel,
+    run_aux,
+    sigmoid_table,
+)
+from repro.errors import ConfigurationError
+
+
+class TestReLU:
+    def test_matches_numpy(self):
+        rng = np.random.default_rng(0)
+        values = rng.integers(-128, 128, 64)
+        result = run_aux(
+            relu_kernel(0, 256, 64),
+            stage=[(0, values, 1)],
+            read_base=256,
+            read_count=64,
+        )
+        assert np.array_equal(result.outputs, np.maximum(values, 0))
+
+    def test_cost_under_15_cycles_per_value(self):
+        values = np.arange(-32, 32)
+        result = run_aux(
+            relu_kernel(0, 256, 64),
+            stage=[(0, values, 1)],
+            read_base=256,
+            read_count=64,
+        )
+        assert result.cycles_per_value < 15
+
+
+class TestLUT:
+    def test_sigmoid_lut(self):
+        in_scale, out_scale = 0.05, 1.0 / 127
+        table = sigmoid_table(in_scale, out_scale)
+        rng = np.random.default_rng(1)
+        values = rng.integers(-128, 128, 48)
+        result = run_aux(
+            lut_kernel(0, 256, 512, 48),
+            stage=[(0, values, 1), (512, table, 1)],
+            read_base=256,
+            read_count=48,
+        )
+        expected = np.array([
+            max(-128, min(127, round(1.0 / (1.0 + math.exp(-v * in_scale)) / out_scale)))
+            for v in values
+        ])
+        assert np.array_equal(result.outputs, expected)
+
+    def test_identity_lut(self):
+        table = list(range(256))
+        values = np.arange(-20, 20)
+        result = run_aux(
+            lut_kernel(0, 256, 512, 40),
+            stage=[(0, values, 1), (512, table, 1)],
+            read_base=256,
+            read_count=40,
+        )
+        assert np.array_equal(result.outputs, values)
+
+    def test_any_unary_function_is_one_lut(self):
+        """Swish, GELU, whatever — same kernel, different table."""
+        def swish(v):
+            return v * 0.02 / (1.0 + math.exp(-v * 0.05))
+
+        table = [
+            max(-128, min(127, round(swish(b - 256 if b & 0x80 else b) * 50))) & 0xFF
+            for b in range(256)
+        ]
+        values = np.array([-100, -1, 0, 1, 100])
+        result = run_aux(
+            lut_kernel(0, 256, 512, 5),
+            stage=[(0, values, 1), (512, table, 1)],
+            read_base=256,
+            read_count=5,
+        )
+        expected = np.array([
+            max(-128, min(127, round(swish(int(v)) * 50))) for v in values
+        ])
+        assert np.array_equal(result.outputs, expected)
+
+
+class TestMaxPool:
+    def test_matches_numpy(self):
+        rng = np.random.default_rng(2)
+        h, w = 8, 8
+        plane = rng.integers(-128, 128, (h, w))
+        result = run_aux(
+            maxpool2x2_kernel(0, 1024, h, w),
+            stage=[(0, plane.reshape(-1), 1)],
+            read_base=1024,
+            read_count=(h // 2) * (w // 2),
+        )
+        expected = plane.reshape(h // 2, 2, w // 2, 2).max(axis=(1, 3)).reshape(-1)
+        assert np.array_equal(result.outputs, expected)
+
+    def test_odd_dimensions_rejected(self):
+        with pytest.raises(ConfigurationError):
+            maxpool2x2_kernel(0, 256, 5, 4)
+
+
+class TestRequant:
+    def test_matches_fixed_point_reference(self):
+        rng = np.random.default_rng(3)
+        accs = rng.integers(-200_000, 200_000, 32)
+        mult, shift = 13, 8
+        result = run_aux(
+            requant_kernel(0, 512, 32, mult, shift),
+            stage=[(0, accs, 4)],
+            read_base=512,
+            read_count=32,
+        )
+        expected = np.clip((accs * mult + (1 << (shift - 1))) >> shift, -128, 127)
+        assert np.array_equal(result.outputs, expected)
+
+    def test_saturation_both_ends(self):
+        accs = np.array([10 ** 6, -(10 ** 6)])
+        result = run_aux(
+            requant_kernel(0, 512, 2, 200, 4),
+            stage=[(0, accs, 4)],
+            read_base=512,
+            read_count=2,
+        )
+        assert result.outputs.tolist() == [127, -128]
+
+
+class TestAuxCostCalibration:
+    def test_aux_chain_cost_matches_model_constant(self):
+        """requant + relu per ofmap value lands near the performance
+        model's aux_cost (22 cycles x 1.3 overhead ~ 29)."""
+        rng = np.random.default_rng(4)
+        accs = rng.integers(-100_000, 100_000, 64)
+        requant = run_aux(
+            requant_kernel(0, 512, 64, 13, 8),
+            stage=[(0, accs, 4)],
+            read_base=512,
+            read_count=64,
+        )
+        relu = run_aux(
+            relu_kernel(512, 1024, 64),
+            stage=[(512, np.zeros(64), 1)],
+            read_base=1024,
+            read_count=64,
+        )
+        combined = requant.cycles_per_value + relu.cycles_per_value
+        assert 15 < combined < 45
+    def test_dmem_bounds_enforced(self):
+        with pytest.raises(ConfigurationError):
+            relu_kernel(4000, 4600, 200)

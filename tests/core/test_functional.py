@@ -1,0 +1,142 @@
+"""Functional node-group execution == quantized reference, exactly."""
+
+import numpy as np
+import pytest
+
+from repro.core.functional import (
+    FunctionalNodeGroup,
+    bit_true_min_nodes,
+    simulate_quantized_graph,
+)
+from repro.errors import ConfigurationError
+from repro.mapping.capacity import CapacityModel
+from repro.nn.models import build_residual_cnn, build_small_cnn
+from repro.nn.quantize import quantize_graph
+from repro.nn.workloads import ConvLayerSpec
+
+
+def group_setup(spec, num_nodes, seed=0, **kw):
+    rng = np.random.default_rng(seed)
+    weights = rng.integers(-128, 128, size=(spec.m, spec.c, spec.r, spec.s))
+    bias = rng.integers(-200, 200, size=spec.m)
+    q_in = rng.integers(-128, 128, size=(spec.c, spec.h, spec.w))
+    group = FunctionalNodeGroup(spec, weights, bias, num_nodes, **kw)
+    from repro.core.node import reference_accumulators
+
+    return group, q_in, reference_accumulators(spec, weights, bias, q_in)
+
+
+class TestFastMode:
+    def test_single_node(self):
+        spec = ConvLayerSpec(0, "t", h=6, w=6, c=32, m=4, padding=1)
+        group, q_in, ref = group_setup(spec, 1)
+        assert np.array_equal(group.run(q_in), ref)
+
+    def test_filters_split_across_nodes(self):
+        spec = ConvLayerSpec(0, "t", h=6, w=6, c=64, m=10, padding=1)
+        group, q_in, ref = group_setup(spec, 4)
+        assert np.array_equal(group.run(q_in), ref)
+
+    def test_wide_channels_subvectors(self):
+        spec = ConvLayerSpec(0, "t", h=4, w=4, c=512, m=3, padding=0)
+        group, q_in, ref = group_setup(spec, 2)
+        assert np.array_equal(group.run(q_in), ref)
+
+    def test_strided(self):
+        spec = ConvLayerSpec(0, "t", h=8, w=8, c=32, m=4, stride=2, padding=1)
+        group, q_in, ref = group_setup(spec, 2)
+        assert np.array_equal(group.run(q_in), ref)
+
+    def test_mac_count_matches_model(self):
+        spec = ConvLayerSpec(0, "t", h=4, w=4, c=256, m=2, padding=0)
+        group, q_in, _ = group_setup(spec, 1)
+        group.run(q_in)
+        # 2x2 ofmap * 9 taps * 2 filters MACs.
+        assert group.stats.macs == 4 * 9 * 2
+
+    def test_shape_validated(self):
+        spec = ConvLayerSpec(0, "t", h=4, w=4, c=32, m=2, padding=0)
+        group, _, _ = group_setup(spec, 1)
+        with pytest.raises(ConfigurationError):
+            group.run(np.zeros((32, 5, 5)))
+
+
+class TestBitTrueMode:
+    def test_matches_fast_mode(self):
+        spec = ConvLayerSpec(0, "t", h=4, w=4, c=32, m=2, padding=1)
+        fast, q_in, ref = group_setup(spec, 1)
+        nodes = bit_true_min_nodes(spec, CapacityModel())
+        true, _, _ = group_setup(spec, nodes, bit_true=True)
+        assert np.array_equal(true.run(q_in), ref)
+
+    def test_wide_channels_rejected(self):
+        spec = ConvLayerSpec(0, "t", h=4, w=4, c=512, m=2, padding=0)
+        with pytest.raises(ConfigurationError):
+            group_setup(spec, 4, bit_true=True)
+
+    def test_energy_accounted(self):
+        spec = ConvLayerSpec(0, "t", h=4, w=4, c=32, m=2, padding=0)
+        group, q_in, _ = group_setup(spec, 1, bit_true=True)
+        group.run(q_in)
+        assert group.stats.cmem_energy_pj > 0
+        assert group.stats.row_transfers > 0
+
+
+class TestWholeNetworks:
+    def test_small_cnn_fast_equals_reference(self):
+        g = build_small_cnn()
+        x = np.random.default_rng(11).normal(size=(8, 8, 8))
+        qg = quantize_graph(g, [x])
+        ref = qg.forward(x)
+        sim = simulate_quantized_graph(qg, x)
+        for name in ref:
+            assert np.array_equal(ref[name], sim[name]), name
+
+    def test_residual_cnn_fast_equals_reference(self):
+        g = build_residual_cnn()
+        x = np.random.default_rng(12).normal(size=(8, 8, 8))
+        qg = quantize_graph(g, [x])
+        ref = qg.forward(x)
+        sim = simulate_quantized_graph(qg, x)
+        for name in ref:
+            assert np.array_equal(ref[name], sim[name]), name
+
+    def test_explicit_node_counts_respected(self):
+        g = build_small_cnn()
+        x = np.random.default_rng(13).normal(size=(8, 8, 8))
+        qg = quantize_graph(g, [x])
+        ref = qg.forward(x)
+        sim = simulate_quantized_graph(qg, x, nodes_per_layer={"conv1": 3})
+        for name in ref:
+            assert np.array_equal(ref[name], sim[name]), name
+
+    @pytest.mark.slow
+    def test_small_cnn_bit_true_equals_reference(self):
+        g = build_small_cnn(input_shape=(8, 6, 6))
+        x = np.random.default_rng(14).normal(size=(8, 6, 6))
+        qg = quantize_graph(g, [x])
+        ref = qg.forward(x)
+        sim = simulate_quantized_graph(qg, x, bit_true=True)
+        for name in ref:
+            assert np.array_equal(ref[name], sim[name]), name
+
+
+class TestOtherPrecisions:
+    def test_int4_network_functional_equality(self):
+        """The whole stack also holds at 4-bit quantization."""
+        g = build_small_cnn()
+        x = np.random.default_rng(40).normal(size=(8, 8, 8))
+        qg = quantize_graph(g, [x], n_bits=4)
+        ref = qg.forward(x)
+        sim = simulate_quantized_graph(qg, x)
+        for name in ref:
+            assert np.array_equal(ref[name], sim[name]), name
+
+    def test_int16_network_functional_equality(self):
+        g = build_small_cnn()
+        x = np.random.default_rng(41).normal(size=(8, 8, 8))
+        qg = quantize_graph(g, [x], n_bits=16)
+        ref = qg.forward(x)
+        sim = simulate_quantized_graph(qg, x)
+        for name in ref:
+            assert np.array_equal(ref[name], sim[name]), name

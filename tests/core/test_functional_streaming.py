@@ -1,0 +1,94 @@
+"""The streamed schedule computes exactly what layer-by-layer does."""
+
+import numpy as np
+import pytest
+
+from repro.core.functional_streaming import StreamedSegmentExecutor
+from repro.errors import ConfigurationError, SimulationError
+from repro.nn.quantize import QConv2d
+
+
+def make_qconv(c, m, r=3, stride=1, padding=1, seed=0):
+    rng = np.random.default_rng(seed)
+    return QConv2d(
+        weight_q=rng.integers(-127, 128, size=(m, c, r, r)),
+        bias_q=rng.integers(-50, 50, size=m),
+        stride=stride,
+        padding=padding,
+        in_scale=0.05,
+        w_scale=0.01,
+        out_scale=0.04,
+        n_bits=8,
+    )
+
+
+def reference_chain(layers, q_in):
+    outs = []
+    x = q_in
+    for layer in layers:
+        x = layer.forward(x)
+        outs.append(x)
+    return outs
+
+
+class TestStreamedEquality:
+    def test_two_layer_chain(self):
+        layers = [make_qconv(8, 12, seed=1), make_qconv(12, 8, seed=2)]
+        q_in = np.random.default_rng(3).integers(-128, 128, size=(8, 6, 6))
+        streamed = StreamedSegmentExecutor(layers, (8, 6, 6)).run(q_in)
+        reference = reference_chain(layers, q_in)
+        for got, want in zip(streamed, reference):
+            assert np.array_equal(got, want)
+
+    def test_three_layer_chain_with_stride(self):
+        layers = [
+            make_qconv(8, 16, seed=4),
+            make_qconv(16, 16, stride=2, seed=5),
+            make_qconv(16, 8, seed=6),
+        ]
+        q_in = np.random.default_rng(7).integers(-128, 128, size=(8, 8, 8))
+        streamed = StreamedSegmentExecutor(layers, (8, 8, 8)).run(q_in)
+        reference = reference_chain(layers, q_in)
+        for got, want in zip(streamed, reference):
+            assert np.array_equal(got, want)
+
+    def test_unpadded_chain(self):
+        layers = [make_qconv(4, 6, padding=0, seed=8)]
+        q_in = np.random.default_rng(9).integers(-128, 128, size=(4, 5, 5))
+        streamed = StreamedSegmentExecutor(layers, (4, 5, 5)).run(q_in)
+        assert np.array_equal(streamed[0], layers[0].forward(q_in))
+
+    def test_1x1_downsample(self):
+        layers = [make_qconv(8, 16, r=1, stride=2, padding=0, seed=10)]
+        q_in = np.random.default_rng(11).integers(-128, 128, size=(8, 6, 6))
+        streamed = StreamedSegmentExecutor(layers, (8, 6, 6)).run(q_in)
+        assert np.array_equal(streamed[0], layers[0].forward(q_in))
+
+
+class TestCausality:
+    def test_every_pixel_finalized_exactly_once(self):
+        """The schedule never leaves or double-finalizes a pixel."""
+        layers = [make_qconv(4, 4, seed=12), make_qconv(4, 4, seed=13)]
+        executor = StreamedSegmentExecutor(layers, (4, 5, 5))
+        q_in = np.random.default_rng(14).integers(-128, 128, size=(4, 5, 5))
+        executor.run(q_in)
+        for state in executor.states:
+            assert state.produced.all()
+            assert (state.remaining == 0).all()
+            assert not state.pending  # everything was consumed in order
+
+
+class TestValidation:
+    def test_shape_mismatch_rejected(self):
+        layers = [make_qconv(8, 4)]
+        with pytest.raises(ConfigurationError):
+            StreamedSegmentExecutor(layers, (4, 5, 5))
+
+    def test_empty_chain_rejected(self):
+        with pytest.raises(SimulationError):
+            StreamedSegmentExecutor([], (4, 5, 5))
+
+    def test_input_shape_checked(self):
+        executor = StreamedSegmentExecutor([make_qconv(4, 4)], (4, 5, 5))
+        with pytest.raises(ConfigurationError):
+            executor.run(np.zeros((4, 6, 6)))

@@ -1,0 +1,97 @@
+"""Multi-DNN spatial partitioning."""
+
+import pytest
+
+from repro.core.multi_dnn import MultiDNNScheduler
+from repro.errors import MappingError
+from repro.nn.workloads import ConvLayerSpec, NetworkSpec, small_cnn_spec
+
+
+def tiny_net(name, m=32, h=14, layers=2):
+    specs = tuple(
+        ConvLayerSpec(i + 1, f"{name}_c{i}", h=h, w=h, c=64, m=m)
+        for i in range(layers)
+    )
+    return NetworkSpec(name=name, layers=specs)
+
+
+@pytest.fixture(scope="module")
+def scheduler():
+    return MultiDNNScheduler()
+
+
+class TestPartitioning:
+    def test_shares_cover_array(self, scheduler):
+        nets = [tiny_net("a"), tiny_net("b", m=64)]
+        shares = scheduler.partition(nets)
+        assert sum(shares) == 208
+        assert all(s > 0 for s in shares)
+
+    def test_heavier_model_gets_more_cores(self, scheduler):
+        light = tiny_net("light", m=32, h=7)
+        heavy = tiny_net("heavy", m=64, h=28)
+        shares = scheduler.partition([light, heavy])
+        assert shares[1] > shares[0]
+
+    def test_empty_rejected(self, scheduler):
+        with pytest.raises(MappingError):
+            scheduler.partition([])
+
+    def test_overcommitted_rejected(self):
+        scheduler = MultiDNNScheduler(array_size=12)
+        nets = [tiny_net("a", m=128, h=28), tiny_net("b", m=128, h=28)]
+        with pytest.raises(MappingError):
+            scheduler.partition(nets)
+
+
+class TestConcurrentExecution:
+    def test_parallel_beats_time_sharing(self, scheduler):
+        nets = [tiny_net("a"), tiny_net("b"), small_cnn_spec()]
+        result = scheduler.run(nets)
+        assert result.parallel_latency_ms < result.time_shared_latency_ms
+        assert result.speedup_vs_time_shared > 1.0
+
+    def test_aggregate_throughput_counts_all_models(self, scheduler):
+        nets = [tiny_net("a"), tiny_net("b")]
+        result = scheduler.run(nets)
+        assert result.aggregate_throughput == pytest.approx(
+            sum(r.throughput for r in result.runs)
+        )
+        assert result.aggregate_throughput > result.time_shared_throughput
+
+    def test_each_model_gets_its_partition(self, scheduler):
+        nets = [tiny_net("a"), tiny_net("b")]
+        result = scheduler.run(nets)
+        for run in result.runs:
+            for seg_run in run.result.runs:
+                assert seg_run.segment.total_nodes <= run.partition_cores
+
+
+class TestSpatialIsolation:
+    def test_models_never_share_a_tile(self, scheduler):
+        nets = [tiny_net("a"), tiny_net("b", m=64), small_cnn_spec()]
+        result = scheduler.run(nets)
+        tile_sets = [run.occupied_tiles() for run in result.runs]
+        for i in range(len(tile_sets)):
+            for j in range(i + 1, len(tile_sets)):
+                assert not (tile_sets[i] & tile_sets[j]), (i, j)
+
+    def test_regions_are_contiguous_snake_intervals(self, scheduler):
+        nets = [tiny_net("a"), tiny_net("b", m=64)]
+        result = scheduler.run(nets)
+        starts = [run.region_start for run in result.runs]
+        assert starts[0] == 0
+        assert starts[1] == result.runs[0].partition_cores
+
+    def test_chains_stay_adjacent_inside_regions(self, scheduler):
+        nets = [tiny_net("a"), tiny_net("b", m=64)]
+        result = scheduler.run(nets)
+        for run in result.runs:
+            for placement in run.placements:
+                # Snake intervals keep consecutive cores within 1 hop
+                # except at most at the interval's row boundaries.
+                hops = [
+                    h for idx in placement.dc
+                    for h in placement.chain_hops(idx)
+                ]
+                assert sum(hops) / len(hops) < 1.5

@@ -1,0 +1,117 @@
+"""The Eq. (1) performance model: closed forms, monotonicity, components."""
+
+import math
+
+import pytest
+
+from repro.core.perfmodel import PerformanceModel, TimingParams
+from repro.nn.workloads import ConvLayerSpec, resnet18_spec
+
+
+def spec(c=256, m=50, h=14, **kw):
+    defaults = dict(r=3, s=3, stride=1, padding=1)
+    defaults.update(kw)
+    return ConvLayerSpec(0, "t", h=h, w=h, c=c, m=m, **defaults)
+
+
+class TestClosedForms:
+    def test_paper_iteration_formula_with_slice_parallelism(self):
+        """Sec 4.1: a full node (Q filters/slice) iterates in 7N + Q N^2."""
+        model = PerformanceModel(TimingParams(slice_parallel_cmem=True))
+        # 5 filters of 3x3x256 = 45 vectors in 7 slices; interior pixels MAC
+        # against all filter pixels.  Use stride-1 padded layer so density=1.
+        t4 = spec(m=5, h=9)
+        timing = model.iteration_timing(t4, 1)
+        n, q = 8, 7
+        # ceil(45/7) = 7 MACs per slice: exactly Q N^2 + 7N.
+        assert timing.t_cmem == pytest.approx(7 * n + q * n * n, rel=0.05)
+
+    def test_serial_cmem_linear_in_filters(self):
+        """Eq. (1): T_CMem = k1 * n_i under the many-core model."""
+        model = PerformanceModel(TimingParams(slice_parallel_cmem=False))
+        t1 = model.iteration_timing(spec(m=50), 25).t_cmem   # 2 filters/node
+        t2 = model.iteration_timing(spec(m=100), 25).t_cmem  # 4 filters/node
+        assert t2 > 1.8 * t1
+
+    def test_mac_count_density_for_stride(self):
+        model = PerformanceModel()
+        dense = model.iteration_timing(spec(m=50, stride=1), 10)
+        strided = model.iteration_timing(spec(m=50, stride=2, h=28), 10)
+        assert strided.macs_per_iteration < dense.macs_per_iteration
+
+
+class TestMonotonicity:
+    def test_more_nodes_never_slower_per_iteration(self):
+        model = PerformanceModel()
+        layer = spec(m=100)
+        times = [
+            model.iteration_timing(layer, nodes).total
+            for nodes in range(20, 101, 10)
+        ]
+        assert all(a >= b - 1e-9 for a, b in zip(times, times[1:]))
+
+    def test_interval_floors_at_dc_rate(self):
+        model = PerformanceModel()
+        layer = spec(m=100)
+        lt = model.layer_timing(layer, 100)
+        assert lt.interval >= lt.dc.total
+
+
+class TestDCTiming:
+    def test_dram_fetch_only_when_requested(self):
+        model = PerformanceModel()
+        on = model.dc_timing(spec(), from_dram=True)
+        off = model.dc_timing(spec(), from_dram=False)
+        assert on.t_fetch > 0 and off.t_fetch == 0
+        assert on.t_transpose == off.t_transpose
+
+    def test_wide_channels_double_transpose(self):
+        model = PerformanceModel()
+        narrow = model.dc_timing(spec(c=256), from_dram=False)
+        wide = model.dc_timing(spec(c=512), from_dram=False)
+        assert wide.t_transpose == 2 * narrow.t_transpose
+
+
+class TestIterations:
+    def test_full_coverage_for_3x3(self):
+        model = PerformanceModel()
+        assert model.required_iterations(spec(h=14)) == 196
+
+    def test_strided_1x1_subsamples(self):
+        model = PerformanceModel()
+        shortcut = ConvLayerSpec(0, "sc", h=56, w=56, c=64, m=128,
+                                 r=1, s=1, stride=2, padding=0)
+        assert model.required_iterations(shortcut) == 784
+
+
+class TestSegmentTiming:
+    def test_pipelining_beats_serial_execution(self):
+        model = PerformanceModel()
+        layers = [model.layer_timing(spec(m=60), 30) for _ in range(3)]
+        seg = model.segment_timing(layers)
+        serial = sum(lt.standalone_cycles for lt in layers)
+        assert seg.total_cycles < serial
+
+    def test_start_offsets_increase(self):
+        model = PerformanceModel()
+        layers = [model.layer_timing(spec(m=60), 30) for _ in range(3)]
+        seg = model.segment_timing(layers)
+        assert seg.start_offsets == sorted(seg.start_offsets)
+
+    def test_filter_load_mostly_hidden(self):
+        """Sec. 6.2: the filter-load phase is <= ~10% of segment time."""
+        model = PerformanceModel()
+        net = resnet18_spec()
+        layers = [model.layer_timing(net.layer(i), 32) for i in (1, 2, 3, 4)]
+        seg = model.segment_timing(layers)
+        exposed = seg.filter_load_cycles * (1 - model.params.filter_load_overlap)
+        assert exposed / seg.total_cycles < 0.1
+
+
+class TestOverlapFlag:
+    def test_eq1_max_vs_sum(self):
+        on = PerformanceModel(TimingParams(overlap=True)).iteration_timing(spec(), 10)
+        off = PerformanceModel(TimingParams(overlap=False)).iteration_timing(spec(), 10)
+        assert off.total == pytest.approx(off.t_cmem + off.t_scalar + off.t_forward)
+        assert on.total == pytest.approx(max(on.t_cmem, on.t_scalar + on.t_forward))
+        assert on.total <= off.total

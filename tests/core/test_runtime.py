@@ -1,0 +1,83 @@
+"""The host deployment runtime: deploy -> infer -> exact outputs."""
+
+import numpy as np
+import pytest
+
+from repro.core.runtime import MAICCRuntime, network_spec_of
+from repro.errors import MappingError
+from repro.nn.graph import Graph
+from repro.nn.layers import Input, ReLU
+from repro.nn.models import build_residual_cnn, build_small_cnn
+from repro.nn.quantize import quantize_graph
+
+
+@pytest.fixture(scope="module")
+def deployed():
+    graph = build_small_cnn()
+    rng = np.random.default_rng(5)
+    calibration = [rng.normal(size=(8, 8, 8)) for _ in range(2)]
+    return MAICCRuntime().deploy(graph, calibration, name="small"), graph
+
+
+class TestNetworkSpecDerivation:
+    def test_conv_and_fc_layers_extracted(self, deployed):
+        model, _ = deployed
+        kinds = [s.kind for s in model.network]
+        assert kinds.count("linear") == 1
+        assert kinds.count("conv") == 3
+
+    def test_shapes_follow_pooling(self, deployed):
+        model, _ = deployed
+        conv3 = next(s for s in model.network if s.name == "conv3")
+        assert (conv3.h, conv3.w, conv3.c) == (4, 4, 16)  # after 2x2 pool
+
+    def test_aux_only_graph_rejected(self):
+        g = Graph()
+        g.add("in", Input((4, 4, 4)))
+        g.add("relu", ReLU(), ["in"])
+        qg = quantize_graph(g, [np.zeros((4, 4, 4))])
+        with pytest.raises(MappingError):
+            network_spec_of(qg)
+
+
+class TestDeployment:
+    def test_performance_populated(self, deployed):
+        model, _ = deployed
+        assert model.latency_ms > 0
+        assert model.throughput_samples_s > 0
+        assert len(model.placements) == len(model.performance.runs)
+
+    def test_placements_are_adjacent_chains(self, deployed):
+        model, _ = deployed
+        for placement in model.placements:
+            assert placement.average_chain_hops() == pytest.approx(1.0)
+
+    def test_summary_renders(self, deployed):
+        model, _ = deployed
+        text = model.summary()
+        assert "small" in text
+        assert "segment" in text
+
+
+class TestInference:
+    def test_outputs_match_quantized_reference(self, deployed):
+        model, graph = deployed
+        x = np.random.default_rng(9).normal(size=(8, 8, 8))
+        result = model.infer(x)
+        reference = model.qgraph.forward(x)[model.qgraph.output_name]
+        assert np.array_equal(result.logits, reference)
+
+    def test_cost_attached(self, deployed):
+        model, _ = deployed
+        result = model.infer(np.zeros((8, 8, 8)))
+        assert result.latency_ms == model.latency_ms
+        assert result.energy_mj > 0
+
+    def test_residual_model_deploys(self):
+        graph = build_residual_cnn()
+        rng = np.random.default_rng(1)
+        runtime = MAICCRuntime()
+        model = runtime.deploy(graph, [rng.normal(size=(8, 8, 8))])
+        x = rng.normal(size=(8, 8, 8))
+        result = model.infer(x)
+        assert result.outputs.shape == (10,)

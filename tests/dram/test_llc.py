@@ -1,0 +1,84 @@
+"""LLC tile behaviour: hits, LRU, writebacks."""
+
+import pytest
+
+from repro.dram.controller import DRAMController
+from repro.dram.llc import LLCache, LLCConfig
+from repro.errors import ConfigurationError
+from repro.riscv.memory import DRAM_BASE
+
+
+class TestConfig:
+    def test_default_geometry(self):
+        cfg = LLCConfig()
+        assert cfg.num_sets == 64 * 1024 // 64 // 8
+
+    def test_invalid_ways(self):
+        with pytest.raises(ConfigurationError):
+            LLCConfig(capacity_bytes=1024, ways=3)
+
+
+class TestHitMiss:
+    def test_first_access_misses(self):
+        llc = LLCache()
+        llc.access(DRAM_BASE, False)
+        assert llc.stats.misses == 1
+
+    def test_second_access_hits(self):
+        llc = LLCache()
+        llc.access(DRAM_BASE, False)
+        latency = llc.access(DRAM_BASE, False)
+        assert llc.stats.hits == 1
+        assert latency == llc.config.hit_latency
+
+    def test_same_line_different_bytes_hit(self):
+        llc = LLCache()
+        llc.access(DRAM_BASE, False)
+        llc.access(DRAM_BASE + 63, False)
+        assert llc.stats.hits == 1
+
+    def test_miss_latency_includes_dram(self):
+        llc = LLCache(dram=DRAMController())
+        latency = llc.access(DRAM_BASE, False)
+        assert latency > llc.config.hit_latency
+
+
+class TestReplacement:
+    def test_lru_evicts_oldest(self):
+        cfg = LLCConfig(capacity_bytes=1024, ways=2, line_bytes=64)
+        llc = LLCache(cfg)
+        sets = cfg.num_sets
+        way_stride = cfg.line_bytes * sets
+        a, b, c = (DRAM_BASE + i * way_stride for i in range(3))
+        llc.access(a, False)
+        llc.access(b, False)
+        llc.access(a, False)  # refresh a
+        llc.access(c, False)  # evicts b
+        llc.access(a, False)
+        assert llc.stats.hits == 2
+        llc.access(b, False)
+        assert llc.stats.misses == 4  # b was evicted
+
+    def test_dirty_eviction_counts_writeback(self):
+        cfg = LLCConfig(capacity_bytes=1024, ways=2, line_bytes=64)
+        llc = LLCache(cfg)
+        way_stride = cfg.line_bytes * cfg.num_sets
+        llc.access(DRAM_BASE, True)  # dirty
+        llc.access(DRAM_BASE + way_stride, False)
+        llc.access(DRAM_BASE + 2 * way_stride, False)  # evicts dirty line
+        assert llc.stats.writebacks == 1
+
+    def test_flush_writes_dirty_lines(self):
+        llc = LLCache()
+        llc.access(DRAM_BASE, True)
+        llc.access(DRAM_BASE + 64, True)
+        llc.access(DRAM_BASE + 128, False)
+        assert llc.flush() == 2
+        # A second flush finds nothing dirty.
+        assert llc.flush() == 0
+
+    def test_hit_rate_property(self):
+        llc = LLCache()
+        llc.access(DRAM_BASE, False)
+        llc.access(DRAM_BASE, False)
+        assert llc.stats.hit_rate == pytest.approx(0.5)

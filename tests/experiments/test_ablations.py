@@ -1,0 +1,71 @@
+"""The ablation experiment drivers (CLI-facing)."""
+
+import pytest
+
+from repro.experiments import ablations
+
+
+class TestSliceAblation:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return ablations.run_slices()
+
+    def test_latency_improves_with_slices(self, result):
+        latencies = [
+            row["latency_ms"] for row in result.rows
+            if isinstance(row["latency_ms"], float)
+        ]
+        assert latencies == sorted(latencies, reverse=True)
+
+    def test_capacity_grows_with_slices(self, result):
+        fpn = result.column("filters_per_node")
+        assert fpn == sorted(fpn)
+
+
+class TestPrecisionAblation:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return ablations.run_precision()
+
+    def test_mac_cycles_quadratic(self, result):
+        assert result.column("mac_cycles") == [4, 16, 64, 256]
+
+    def test_lower_precision_faster(self, result):
+        rows = {row["n_bits"]: row for row in result.rows}
+        assert rows[2]["resnet_latency_ms"] < rows[8]["resnet_latency_ms"]
+
+    def test_capacity_formula(self, result):
+        rows = {row["n_bits"]: row for row in result.rows}
+        for n in (2, 4, 8, 16):
+            assert rows[n]["slots_per_slice"] == 64 // n - 1
+
+
+class TestPrimitiveAblation:
+    def test_mac_primitive_wins(self):
+        result = ablations.run_primitives()
+        rows = {row["approach"]: row for row in result.rows}
+        ew = rows["element-wise (Neural Cache)"]["cycles_per_dot_product"]
+        mac = rows["adder-tree MAC (MAICC)"]["cycles_per_dot_product"]
+        assert ew / mac > 2.0
+
+
+class TestPlacementAblation:
+    def test_zigzag_minimal(self):
+        result = ablations.run_placement()
+        rows = {row["policy"]: row for row in result.rows}
+        assert rows["zig-zag"]["flit_hops"] < rows["raster"]["flit_hops"]
+        assert rows["raster"]["flit_hops"] < rows["random"]["flit_hops"]
+
+
+class TestBatchAblation:
+    def test_throughput_monotone(self):
+        result = ablations.run_batch()
+        throughputs = result.column("samples_per_s")
+        assert throughputs == sorted(throughputs)
+
+
+def test_cli_includes_ablations():
+    from repro.experiments.runner import PAPER_EXPERIMENTS, REGISTRY
+
+    assert set(PAPER_EXPERIMENTS) < set(REGISTRY)
+    assert "ablation-placement" in REGISTRY

@@ -1,0 +1,71 @@
+"""The Eq. (1) node allocator."""
+
+import pytest
+
+from repro.errors import MappingError
+from repro.mapping.allocation import allocate_segment
+from repro.mapping.capacity import CapacityModel
+from repro.nn.workloads import ConvLayerSpec
+
+
+def layer(index, m=64, h=28, c=128):
+    return ConvLayerSpec(index, f"l{index}", h=h, w=h, c=c, m=m)
+
+
+def inverse_timing(spec, nodes):
+    """Perfectly divisible work: T = work / nodes."""
+    return spec.macs / nodes
+
+
+class TestAllocator:
+    def test_empty_segment_rejected(self):
+        with pytest.raises(MappingError):
+            allocate_segment([], 100, inverse_timing)
+
+    def test_budget_too_small(self):
+        with pytest.raises(MappingError):
+            allocate_segment([layer(1, m=128)], 10, inverse_timing)
+
+    def test_minimums_respected(self):
+        cap = CapacityModel()
+        spec = layer(1, m=128)
+        result = allocate_segment([spec], 208, inverse_timing, cap)
+        assert result.nodes[1] >= cap.min_nodes(spec)
+
+    def test_spare_cores_go_to_bottleneck(self):
+        heavy = layer(1, m=128, h=56)
+        light = layer(2, m=32, h=7)
+        result = allocate_segment([heavy, light], 100, inverse_timing)
+        assert result.nodes[1] > result.nodes[2]
+
+    def test_balances_times(self):
+        a, b = layer(1, m=128, h=28), layer(2, m=128, h=28)
+        result = allocate_segment([a, b], 120, inverse_timing)
+        assert result.nodes[1] == pytest.approx(result.nodes[2], abs=1)
+
+    def test_respects_max_useful(self):
+        spec = layer(1, m=16)
+        result = allocate_segment([spec], 208, inverse_timing)
+        assert result.nodes[1] <= 16  # one filter per node at most
+
+    def test_budget_never_exceeded(self):
+        layers = [layer(i, m=64) for i in range(1, 5)]
+        result = allocate_segment(layers, 60, inverse_timing)
+        assert result.total_nodes() <= 60
+
+    def test_stops_when_bottleneck_saturates(self):
+        """With a constant timing function, spare cores are left unused."""
+        calls = []
+
+        def flat_timing(spec, nodes):
+            calls.append(nodes)
+            return 1000.0
+
+        spec = layer(1, m=128)
+        result = allocate_segment([spec], 208, flat_timing)
+        cap = CapacityModel()
+        assert result.nodes[1] <= cap.min_nodes(spec) + 1
+
+    def test_bottleneck_time_reported(self):
+        result = allocate_segment([layer(1), layer(2)], 50, inverse_timing)
+        assert result.bottleneck_time == max(result.times.values())

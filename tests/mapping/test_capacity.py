@@ -1,0 +1,95 @@
+"""The filters-per-node capacity model vs the paper's Table 6 counts."""
+
+import pytest
+
+from repro.errors import CapacityError
+from repro.mapping.capacity import CapacityModel
+from repro.nn.workloads import ConvLayerSpec, resnet18_spec
+
+CAP = CapacityModel()
+
+
+class TestSlotArithmetic:
+    def test_q_formula(self):
+        """Q = 64/N - 1 vector slots per slice (Sec. 4.1)."""
+        assert CAP.vector_slots_per_slice(8) == 7
+        assert CAP.vector_slots_per_slice(16) == 3
+        assert CAP.vector_slots_per_slice(4) == 15
+
+    def test_total_slots(self):
+        assert CAP.total_vector_slots(8) == 49
+
+    def test_precision_too_wide(self):
+        with pytest.raises(CapacityError):
+            CAP.vector_slots_per_slice(64)
+
+    def test_packing_factor(self):
+        assert CAP.packing_factor(256) == 1
+        assert CAP.packing_factor(512) == 1
+        assert CAP.packing_factor(128) == 2
+        assert CAP.packing_factor(64) == 4
+        assert CAP.packing_factor(32) == 8
+        assert CAP.packing_factor(16) == 8  # lane-aligned: still one lane
+
+    def test_paper_filter_count_example(self):
+        """Sec. 4.1: a node holds floor(7*Q / (R*S)) = 5 filters of 3x3x256."""
+        spec = ConvLayerSpec(0, "t4", h=9, w=9, c=256, m=5, padding=0)
+        assert CAP.filters_per_node(spec) == 5
+
+
+class TestPaperNodeCounts:
+    """Greedy (capacity-minimum) group sizes of Table 6, computing cores + DC."""
+
+    # index -> paper node-group size under the greedy strategy
+    PAPER = {1: 5, 2: 5, 3: 5, 4: 5, 5: 2, 6: 8, 7: 14, 8: 14, 9: 14,
+             10: 4, 11: 27, 12: 53, 13: 53, 14: 53, 15: 12}
+
+    @pytest.mark.parametrize("index", sorted(PAPER))
+    def test_min_nodes_match_paper(self, index):
+        net = resnet18_spec()
+        spec = net.layer(index)
+        assert CAP.min_nodes(spec) + 1 == self.PAPER[index]
+
+    def test_conv4_needs_split_filters(self):
+        net = resnet18_spec()
+        spec = net.layer(17)  # conv4_2: 512 filters of 3x3x512
+        whole = CAP.min_nodes(spec)
+        assert whole > 207  # cannot fit whole-filter on the array
+        split = CAP.min_nodes(spec, max_nodes=207)
+        assert split <= 207
+        assert split == CAP.min_nodes_split(spec)
+
+    def test_split_beyond_cap_raises(self):
+        spec = ConvLayerSpec(0, "huge", h=7, w=7, c=4096, m=4096, padding=1)
+        with pytest.raises(CapacityError):
+            CAP.min_nodes(spec, max_nodes=10)
+
+
+class TestWorkModel:
+    def test_macs_per_filter_basic(self):
+        spec = ConvLayerSpec(0, "c", h=14, w=14, c=256, m=8)
+        assert CAP.macs_per_filter_per_pixel(spec) == 9
+
+    def test_packing_reduces_macs(self):
+        spec = ConvLayerSpec(0, "c", h=56, w=56, c=64, m=8)
+        # p=4: ceil(9/4) = 3 masked MACs cover all 9 filter pixels.
+        assert CAP.macs_per_filter_per_pixel(spec) == 3
+
+    def test_subvectors_multiply_macs(self):
+        spec = ConvLayerSpec(0, "c", h=7, w=7, c=512, m=8)
+        assert CAP.macs_per_filter_per_pixel(spec) == 18
+
+    def test_filters_held_average(self):
+        spec = ConvLayerSpec(0, "c", h=14, w=14, c=256, m=10)
+        assert CAP.filters_held(spec, 5) == 2.0
+
+    def test_filters_held_validates_minimum(self):
+        spec = ConvLayerSpec(0, "c", h=14, w=14, c=256, m=100)
+        with pytest.raises(CapacityError):
+            CAP.filters_held(spec, 1)
+        with pytest.raises(CapacityError):
+            CAP.filters_held(spec, 0)
+
+    def test_max_useful_nodes(self):
+        spec = ConvLayerSpec(0, "c", h=14, w=14, c=256, m=100)
+        assert CAP.max_useful_nodes(spec) == 100

@@ -1,0 +1,81 @@
+"""Property tests on the capacity model's invariants."""
+
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.mapping.capacity import CapacityModel
+from repro.nn.workloads import ConvLayerSpec
+
+CAP = CapacityModel()
+
+layer_specs = st.builds(
+    ConvLayerSpec,
+    index=st.just(0),
+    name=st.just("prop"),
+    h=st.sampled_from([7, 14, 28, 56]),
+    w=st.sampled_from([7, 14, 28, 56]),
+    c=st.sampled_from([16, 32, 64, 128, 256, 512, 1024]),
+    m=st.integers(1, 512),
+    r=st.sampled_from([1, 3, 5]),
+    s=st.sampled_from([1, 3, 5]),
+    stride=st.sampled_from([1, 2]),
+    padding=st.sampled_from([0, 1]),
+)
+
+
+class TestCapacityInvariants:
+    @given(layer_specs)
+    @settings(max_examples=100, deadline=None)
+    def test_min_nodes_hold_all_filters(self, spec):
+        """min_nodes * filters_per_node covers every filter."""
+        fpn = CAP.filters_per_node(spec)
+        if fpn >= 1:
+            assert CAP.min_nodes(spec) * fpn >= spec.m
+
+    @given(layer_specs)
+    @settings(max_examples=100, deadline=None)
+    def test_split_min_never_exceeds_whole_min(self, spec):
+        fpn = CAP.filters_per_node(spec)
+        if fpn >= 1:
+            assert CAP.min_nodes_split(spec) <= CAP.min_nodes(spec)
+
+    @given(layer_specs)
+    @settings(max_examples=100, deadline=None)
+    def test_max_useful_at_least_min(self, spec):
+        assert CAP.max_useful_nodes(spec) >= CAP.min_nodes_split(spec)
+
+    @given(layer_specs)
+    @settings(max_examples=100, deadline=None)
+    def test_packing_lane_aligned(self, spec):
+        p = CAP.packing_factor(spec.c)
+        assert p >= 1
+        if spec.c >= 256:
+            assert p == 1
+        else:
+            lanes = max(1, math.ceil(spec.c / 32))
+            assert p * lanes <= 8
+
+    @given(layer_specs)
+    @settings(max_examples=100, deadline=None)
+    def test_macs_per_filter_cover_all_taps(self, spec):
+        """Packed MACs never exceed the unpacked tap count and always
+        cover every (tap, sub-vector) pair at least once per packing."""
+        macs = CAP.macs_per_filter_per_pixel(spec)
+        sub = max(1, math.ceil(spec.c / 256))
+        unpacked = spec.r * spec.s * sub
+        assert 1 <= macs <= unpacked
+        assert macs * CAP.packing_factor(spec.c) >= unpacked
+
+    @given(layer_specs, st.integers(0, 6))
+    @settings(max_examples=60, deadline=None)
+    def test_filters_held_conserves_filters(self, spec, extra):
+        nodes = CAP.min_nodes_split(spec) + extra
+        held = CAP.filters_held(spec, nodes)
+        assert held * nodes == pytest.approx(spec.m)
+
+    @given(st.sampled_from([2, 4, 8, 16]))
+    def test_slots_formula(self, n_bits):
+        assert CAP.vector_slots_per_slice(n_bits) == 64 // n_bits - 1

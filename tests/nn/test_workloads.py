@@ -1,0 +1,71 @@
+"""The Table 6 layer list and ConvLayerSpec arithmetic."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.nn.workloads import ConvLayerSpec, resnet18_spec, small_cnn_spec
+
+
+class TestConvLayerSpec:
+    def test_ofmap_geometry(self):
+        spec = ConvLayerSpec(1, "c", h=56, w=56, c=64, m=64)
+        assert spec.ofmap_hw == (56, 56)
+        strided = ConvLayerSpec(2, "s", h=56, w=56, c=64, m=128, stride=2)
+        assert strided.ofmap_hw == (28, 28)
+
+    def test_macs(self):
+        spec = ConvLayerSpec(1, "c", h=4, w=4, c=2, m=3, r=3, s=3, padding=1)
+        assert spec.macs == 16 * 3 * 2 * 9
+
+    def test_weight_count(self):
+        spec = ConvLayerSpec(1, "c", h=4, w=4, c=2, m=3)
+        assert spec.weight_count == 3 * 2 * 9
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            ConvLayerSpec(1, "bad", h=0, w=4, c=2, m=3)
+
+
+class TestResNet18Spec:
+    @pytest.fixture(scope="class")
+    def net(self):
+        return resnet18_spec()
+
+    def test_twenty_layers(self, net):
+        assert len(net) == 20
+
+    def test_paper_indices(self, net):
+        assert net.layer(1).name == "conv1_1"
+        assert net.layer(5).kind == "shortcut"
+        assert net.layer(10).kind == "shortcut"
+        assert net.layer(15).kind == "shortcut"
+        assert net.layer(20).kind == "linear"
+
+    def test_stage_geometry(self, net):
+        assert (net.layer(1).h, net.layer(1).c, net.layer(1).m) == (56, 64, 64)
+        assert (net.layer(7).h, net.layer(7).c) == (28, 128)
+        assert (net.layer(12).h, net.layer(12).c) == (14, 256)
+        assert (net.layer(17).h, net.layer(17).c) == (7, 512)
+
+    def test_strided_transitions(self, net):
+        for idx in (5, 6, 10, 11, 15, 16):
+            assert net.layer(idx).stride == 2, idx
+
+    def test_linear_as_1x1_conv(self, net):
+        fc = net.layer(20)
+        assert (fc.h, fc.w, fc.r, fc.s) == (1, 1, 1, 1)
+        assert (fc.c, fc.m) == (512, 1000)
+
+    def test_total_macs_magnitude(self, net):
+        # ~1.7 GMACs for the mapped portion of ResNet18 (stem excluded).
+        assert 1.5e9 < net.total_macs < 1.9e9
+
+    def test_unknown_index(self, net):
+        with pytest.raises(ConfigurationError):
+            net.layer(21)
+
+
+def test_small_cnn_spec():
+    net = small_cnn_spec()
+    assert len(net) == 4
+    assert net.layer(4).kind == "linear"

@@ -1,0 +1,126 @@
+"""Assembler parsing tests: formats, labels, errors."""
+
+import pytest
+
+from repro.riscv.assembler import assemble
+from repro.errors import AssemblerError
+
+
+class TestBasicFormats:
+    def test_alu_register(self):
+        (instr,) = assemble("add a0, a1, a2")
+        assert (instr.opcode, instr.rd, instr.rs1, instr.rs2) == ("add", 10, 11, 12)
+
+    def test_alu_immediate(self):
+        (instr,) = assemble("addi t0, t1, -42")
+        assert instr.imm == -42
+
+    def test_hex_immediates(self):
+        (instr,) = assemble("li a0, 0x1000")
+        assert instr.imm == 0x1000
+
+    def test_load_format(self):
+        (instr,) = assemble("lw a0, 8(sp)")
+        assert (instr.rd, instr.rs1, instr.imm) == (10, 2, 8)
+
+    def test_load_without_offset(self):
+        (instr,) = assemble("lw a0, (sp)")
+        assert instr.imm == 0
+
+    def test_store_format(self):
+        (instr,) = assemble("sw a1, -4(s0)")
+        assert (instr.rs2, instr.rs1, instr.imm) == (11, 8, -4)
+
+    def test_atomic_format(self):
+        (instr,) = assemble("amoadd.w a0, a1, (a2)")
+        assert (instr.rd, instr.rs2, instr.rs1) == (10, 11, 12)
+
+    def test_lr_format(self):
+        (instr,) = assemble("lr.w a0, (a1)")
+        assert (instr.rd, instr.rs1) == (10, 11)
+
+    def test_nop_and_halt(self):
+        program = assemble("nop\nhalt")
+        assert [i.opcode for i in program] == ["nop", "halt"]
+
+    def test_comments_and_blank_lines(self):
+        program = assemble("# header\n\n  addi a0, a0, 1  # bump\n")
+        assert len(program) == 1
+
+
+class TestLabels:
+    def test_branch_target_resolution(self):
+        program = assemble(
+            """
+            li t0, 3
+            loop: addi t0, t0, -1
+            bne t0, zero, loop
+            halt
+            """
+        )
+        assert program[2].target == 1
+
+    def test_forward_reference(self):
+        program = assemble("j end\nnop\nend: halt")
+        assert program[0].target == 2
+
+    def test_jal_and_jalr(self):
+        program = assemble("jal ra, fn\nhalt\nfn: jalr zero, ra, 0")
+        assert program[0].target == 2
+        assert program[2].rs1 == 1
+
+    def test_duplicate_label(self):
+        with pytest.raises(AssemblerError):
+            assemble("a: nop\na: nop")
+
+    def test_undefined_label(self):
+        with pytest.raises(AssemblerError):
+            assemble("j nowhere")
+
+
+class TestCMemFormats:
+    def test_mac(self):
+        (instr,) = assemble("mac.c a0, 1, 0, 8, 8")
+        assert instr.rd == 10
+        assert instr.cm == {"slice": 1, "row_a": 0, "row_b": 8, "n": 8}
+        assert instr.latency() == 64
+
+    def test_move(self):
+        (instr,) = assemble("move.c 0, 0, 3, 8, 8")
+        assert instr.cm == {
+            "src_slice": 0, "src_row": 0, "dst_slice": 3, "dst_row": 8, "n": 8,
+        }
+        assert instr.latency() == 8
+
+    def test_setrow_shiftrow(self):
+        program = assemble("setrow.c 1, 5, 0\nshiftrow.c 1, 5, -2")
+        assert program[0].latency() == 1
+        assert program[1].latency() == 2
+        assert program[1].cm["words"] == -2
+
+    def test_remote_rows(self):
+        program = assemble("loadrow.rc 1, 3, a0\nstorerow.rc 1, 3, a1")
+        assert program[0].rs1 == 10
+        assert program[1].rs1 == 11
+
+    def test_setcsr(self):
+        (instr,) = assemble("setcsr.c 2, 0x0f")
+        assert instr.cm == {"slice": 2, "mask": 0x0F}
+
+
+class TestErrors:
+    def test_unknown_opcode(self):
+        with pytest.raises(AssemblerError):
+            assemble("frobnicate a0, a1")
+
+    def test_wrong_operand_count(self):
+        with pytest.raises(AssemblerError):
+            assemble("add a0, a1")
+
+    def test_bad_memory_operand(self):
+        with pytest.raises(AssemblerError):
+            assemble("lw a0, a1")
+
+    def test_bad_integer(self):
+        with pytest.raises(AssemblerError):
+            assemble("li a0, banana")

@@ -1,0 +1,91 @@
+"""Disassembler round-trips through the assembler."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.riscv.assembler import assemble
+from repro.riscv.core import Core
+from repro.riscv.disasm import disassemble
+
+
+def fields(instr):
+    return (instr.opcode, instr.rd, instr.rs1, instr.rs2, instr.imm,
+            instr.target, dict(instr.cm))
+
+
+class TestRoundTrip:
+    @pytest.mark.parametrize("text", [
+        "add a0, a1, a2",
+        "addi t0, t1, -42",
+        "li a0, 4096",
+        "lw a0, 8(sp)",
+        "sw a1, -4(s0)",
+        "amoadd.w a0, a1, 4(a2)",
+        "lr.w a0, (a1)",
+        "sc.w a0, a1, (a2)",
+        "mul a0, a1, a2",
+        "div a0, a1, a2",
+        "mv a0, a1",
+        "nop",
+        "halt",
+        "mac.c a0, 1, 0, 8, 8",
+        "macu.c a1, 2, 0, 16, 4",
+        "move.c 0, 0, 3, 8, 8",
+        "setrow.c 1, 5, 0",
+        "shiftrow.c 1, 5, -2",
+        "loadrow.rc 1, 3, a0",
+        "storerow.rc 1, 3, a1",
+        "setcsr.c 2, 0xf",
+    ])
+    def test_single_instruction(self, text):
+        original = assemble(text)
+        again = assemble(disassemble(original))
+        assert [fields(i) for i in original] == [fields(i) for i in again]
+
+    def test_branches_get_labels(self):
+        text = """
+            li t0, 3
+        loop:
+            addi t0, t0, -1
+            bne t0, zero, loop
+            j end
+            nop
+        end:
+            halt
+        """
+        original = assemble(text)
+        rendered = disassemble(original)
+        again = assemble(rendered)
+        assert [fields(i) for i in original] == [fields(i) for i in again]
+
+    def test_roundtrip_preserves_execution(self):
+        text = """
+            li t0, 6
+            li t1, 0
+        loop:
+            addi t1, t1, 7
+            addi t0, t0, -1
+            bne t0, zero, loop
+            halt
+        """
+        core_a, core_b = Core(), Core()
+        core_a.run(text)
+        core_b.run(disassemble(assemble(text)))
+        assert core_a.regs.snapshot() == core_b.regs.snapshot()
+
+    def test_generated_kernel_roundtrips(self):
+        from repro.core.node import MAICCNode
+        from repro.nn.workloads import ConvLayerSpec
+
+        spec = ConvLayerSpec(0, "t", h=3, w=3, c=32, m=1, padding=0)
+        rng = np.random.default_rng(0)
+        node = MAICCNode(
+            spec,
+            rng.integers(-128, 128, size=(1, 32, 3, 3)),
+            rng.integers(-10, 10, size=1),
+        )
+        program = node.build_program()
+        again = assemble(disassemble(program))
+        assert [fields(i) for i in program] == [fields(i) for i in again]

@@ -1,0 +1,174 @@
+"""Functional semantics of the RV32IMA subset, checked via Core runs."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.riscv.core import Core
+
+i32 = st.integers(-(2 ** 31), 2 ** 31 - 1)
+
+
+def run_binop(opcode: str, a: int, b: int) -> int:
+    core = Core()
+    core.run(f"li a1, {a}\nli a2, {b}\n{opcode} a0, a1, a2\nhalt")
+    return core.regs.read_signed(10)
+
+
+def to_s32(value: int) -> int:
+    value &= 0xFFFFFFFF
+    return value - (1 << 32) if value & 0x80000000 else value
+
+
+class TestALU:
+    @given(i32, i32)
+    @settings(max_examples=30, deadline=None)
+    def test_add_sub_wraparound(self, a, b):
+        assert run_binop("add", a, b) == to_s32(a + b)
+        assert run_binop("sub", a, b) == to_s32(a - b)
+
+    @given(i32, i32)
+    @settings(max_examples=20, deadline=None)
+    def test_logic(self, a, b):
+        assert run_binop("and", a, b) == to_s32(a & b)
+        assert run_binop("or", a, b) == to_s32(a | b)
+        assert run_binop("xor", a, b) == to_s32(a ^ b)
+
+    @given(i32, st.integers(0, 31))
+    @settings(max_examples=20, deadline=None)
+    def test_shifts(self, a, sh):
+        assert run_binop("sll", a, sh) == to_s32(a << sh)
+        assert run_binop("srl", a, sh) == to_s32((a & 0xFFFFFFFF) >> sh)
+        assert run_binop("sra", a, sh) == to_s32(to_s32(a) >> sh)
+
+    def test_set_less_than(self):
+        assert run_binop("slt", -1, 1) == 1
+        assert run_binop("sltu", -1, 1) == 0  # 0xFFFFFFFF unsigned
+
+    def test_immediates(self):
+        core = Core()
+        core.run("li a0, 10\naddi a0, a0, -3\nslli a0, a0, 2\nhalt")
+        assert core.regs.read(10) == 28
+
+    def test_lui_auipc(self):
+        core = Core()
+        core.run("lui a0, 1\nauipc a1, 0\nhalt")
+        assert core.regs.read(10) == 0x1000
+        # The simulator's PC is an instruction index; auipc adds imm<<12.
+        assert core.regs.read(11) == 1
+
+
+class TestMulDiv:
+    @given(i32, i32)
+    @settings(max_examples=30, deadline=None)
+    def test_mul(self, a, b):
+        assert run_binop("mul", a, b) == to_s32(a * b)
+
+    @given(i32, i32)
+    @settings(max_examples=30, deadline=None)
+    def test_div_rem_truncating(self, a, b):
+        if b == 0:
+            assert run_binop("div", a, b) == -1
+            assert run_binop("rem", a, b) == to_s32(a)
+        else:
+            q = abs(a) // abs(b) * (-1 if (a < 0) != (b < 0) else 1)
+            assert run_binop("div", a, b) == to_s32(q)
+            assert run_binop("rem", a, b) == to_s32(a - b * q)
+
+    def test_mulh_variants(self):
+        assert run_binop("mulh", -2, 3) == -1  # high word of -6
+        assert run_binop("mulhu", -1, -1) == to_s32(0xFFFFFFFE)
+
+    def test_divu_by_zero(self):
+        assert run_binop("divu", 7, 0) == -1  # all-ones
+
+
+class TestMemory:
+    def test_word_roundtrip(self):
+        core = Core()
+        core.run("li a0, 0xDEADBEEF\nsw a0, 16(zero)\nlw a1, 16(zero)\nhalt")
+        assert core.regs.read(11) == 0xDEADBEEF
+
+    def test_little_endian_bytes(self):
+        core = Core()
+        core.run("li a0, 0x11223344\nsw a0, 0(zero)\nlbu a1, 0(zero)\nlbu a2, 3(zero)\nhalt")
+        assert core.regs.read(11) == 0x44
+        assert core.regs.read(12) == 0x11
+
+    def test_sign_extending_loads(self):
+        core = Core()
+        core.run("li a0, 0x80\nsb a0, 0(zero)\nlb a1, 0(zero)\nlbu a2, 0(zero)\nhalt")
+        assert core.regs.read_signed(11) == -128
+        assert core.regs.read(12) == 0x80
+
+    def test_halfword(self):
+        core = Core()
+        core.run("li a0, 0x8001\nsh a0, 4(zero)\nlh a1, 4(zero)\nlhu a2, 4(zero)\nhalt")
+        assert core.regs.read_signed(11) == -32767
+        assert core.regs.read(12) == 0x8001
+
+
+class TestAtomics:
+    def test_amoadd(self):
+        core = Core()
+        core.run(
+            "li a0, 0x100\nli a1, 5\nsw a1, 0(a0)\nli a2, 3\n"
+            "amoadd.w a3, a2, (a0)\nlw a4, 0(a0)\nhalt"
+        )
+        assert core.regs.read(13) == 5  # old value
+        assert core.regs.read(14) == 8
+
+    def test_amoswap_spinlock_shape(self):
+        core = Core()
+        core.run(
+            "li a0, 0x100\nli a1, 1\namoswap.w a2, a1, (a0)\n"
+            "amoswap.w a3, a1, (a0)\nhalt"
+        )
+        assert core.regs.read(12) == 0  # acquired
+        assert core.regs.read(13) == 1  # contended
+
+    def test_lr_sc_success_and_failure(self):
+        core = Core()
+        core.run(
+            "li a0, 0x100\nlr.w a1, (a0)\nli a2, 7\nsc.w a3, a2, (a0)\n"
+            "sc.w a4, a2, (a0)\nlw a5, 0(a0)\nhalt"
+        )
+        assert core.regs.read(13) == 0  # first sc succeeds
+        assert core.regs.read(14) == 1  # reservation consumed
+        assert core.regs.read(15) == 7
+
+
+class TestControlFlow:
+    def test_loop_countdown(self):
+        core = Core()
+        core.run(
+            "li t0, 5\nli t1, 0\nloop: addi t1, t1, 2\naddi t0, t0, -1\n"
+            "bne t0, zero, loop\nhalt"
+        )
+        assert core.regs.read(6) == 10
+
+    @pytest.mark.parametrize(
+        "op,a,b,taken",
+        [
+            ("beq", 1, 1, True), ("beq", 1, 2, False),
+            ("bne", 1, 2, True), ("blt", -1, 0, True),
+            ("bge", 0, 0, True), ("bltu", -1, 0, False),
+            ("bgeu", -1, 0, True),
+        ],
+    )
+    def test_branch_conditions(self, op, a, b, taken):
+        core = Core()
+        core.run(
+            f"li a1, {a}\nli a2, {b}\nli a0, 0\n{op} a1, a2, yes\n"
+            "j end\nyes: li a0, 1\nend: halt"
+        )
+        assert core.regs.read(10) == (1 if taken else 0)
+
+    def test_call_return(self):
+        core = Core()
+        core.run(
+            "li a0, 0\njal ra, fn\naddi a0, a0, 100\nhalt\n"
+            "fn: addi a0, a0, 1\njalr zero, ra, 0"
+        )
+        assert core.regs.read(10) == 101

@@ -1,0 +1,40 @@
+"""SRAM timing constants and the energy accumulator."""
+
+import pytest
+
+from repro.sram.energy import EnergyAccumulator, SRAMEnergy
+from repro.sram.timing import SRAMTiming
+
+
+class TestTiming:
+    def test_one_ghz_default(self):
+        timing = SRAMTiming()
+        assert timing.cycles_to_seconds(1_000_000_000) == pytest.approx(1.0)
+
+    def test_compute_activation_single_cycle(self):
+        assert SRAMTiming().compute_activation_cycles == 1
+
+
+class TestEnergyAccumulator:
+    def test_paper_constants(self):
+        energy = SRAMEnergy()
+        assert energy.vertical_write_pj == 4.75
+        assert energy.move_pj == 52.75
+        assert energy.mac_pj == 28.25
+        assert energy.remote_row_pj == 53.01
+
+    def test_charging_by_op(self):
+        acc = EnergyAccumulator()
+        acc.charge("mac", 2)
+        acc.charge("move")
+        assert acc.total_pj == pytest.approx(2 * 28.25 + 52.75)
+        assert acc.by_op["mac"] == pytest.approx(56.5)
+
+    def test_joules_conversion(self):
+        acc = EnergyAccumulator()
+        acc.charge("vertical_write", 1000)
+        assert acc.total_joules == pytest.approx(4.75e-9)
+
+    def test_unknown_op_rejected(self):
+        with pytest.raises(KeyError):
+            EnergyAccumulator().charge("teleport")

@@ -1,0 +1,77 @@
+"""Tests for the discrete-event kernel."""
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.utils.events import EventQueue
+
+
+class TestEventQueue:
+    def test_dispatch_in_time_order(self):
+        q = EventQueue()
+        seen = []
+        q.schedule(5, lambda: seen.append("late"))
+        q.schedule(1, lambda: seen.append("early"))
+        q.run()
+        assert seen == ["early", "late"]
+
+    def test_fifo_among_simultaneous_events(self):
+        q = EventQueue()
+        seen = []
+        for tag in "abc":
+            q.schedule(3, lambda t=tag: seen.append(t))
+        q.run()
+        assert seen == ["a", "b", "c"]
+
+    def test_now_tracks_last_event(self):
+        q = EventQueue()
+        q.schedule(7, lambda: None)
+        q.run()
+        assert q.now == 7
+
+    def test_schedule_in_past_rejected(self):
+        q = EventQueue()
+        q.schedule(10, lambda: None)
+        q.run()
+        with pytest.raises(SimulationError):
+            q.schedule(5, lambda: None)
+
+    def test_negative_delay_rejected(self):
+        with pytest.raises(SimulationError):
+            EventQueue().schedule_in(-1, lambda: None)
+
+    def test_run_until_leaves_future_events(self):
+        q = EventQueue()
+        seen = []
+        q.schedule(1, lambda: seen.append(1))
+        q.schedule(10, lambda: seen.append(10))
+        q.run(until=5)
+        assert seen == [1]
+        assert len(q) == 1
+        assert q.now == 5
+
+    def test_events_can_schedule_events(self):
+        q = EventQueue()
+        seen = []
+
+        def first():
+            seen.append("first")
+            q.schedule_in(2, lambda: seen.append("second"))
+
+        q.schedule(1, first)
+        q.run()
+        assert seen == ["first", "second"]
+        assert q.now == 3
+
+    def test_max_events_guard(self):
+        q = EventQueue()
+
+        def rearm():
+            q.schedule_in(1, rearm)
+
+        q.schedule(0, rearm)
+        q.run(max_events=50)
+        assert q.processed == 50
+
+    def test_step_on_empty_queue(self):
+        assert EventQueue().step() is None

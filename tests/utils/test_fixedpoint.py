@@ -1,0 +1,80 @@
+"""Tests for quantization arithmetic helpers."""
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.errors import QuantizationError
+from repro.utils.fixedpoint import (
+    choose_scale,
+    dequantize_linear,
+    fixed_range,
+    quantize_linear,
+    requantize,
+    saturate,
+)
+
+
+class TestSaturate:
+    def test_signed_bounds(self):
+        out = saturate(np.array([-200, 0, 200]), 8)
+        assert out.tolist() == [-128, 0, 127]
+
+    def test_unsigned_bounds(self):
+        out = saturate(np.array([-5, 100, 300]), 8, signed=False)
+        assert out.tolist() == [0, 100, 255]
+
+    @given(st.integers(2, 16))
+    def test_range_is_representable(self, n_bits):
+        lo, hi = fixed_range(n_bits)
+        assert saturate(np.array([lo - 1]), n_bits)[0] == lo
+        assert saturate(np.array([hi + 1]), n_bits)[0] == hi
+
+    def test_fixed_range_invalid(self):
+        with pytest.raises(QuantizationError):
+            fixed_range(0)
+
+
+class TestQuantizeLinear:
+    def test_exact_grid_values(self):
+        q = quantize_linear(np.array([0.5, -0.5]), 0.25, 8)
+        assert q.tolist() == [2, -2]
+
+    def test_scale_must_be_positive(self):
+        with pytest.raises(QuantizationError):
+            quantize_linear(np.array([1.0]), 0.0, 8)
+        with pytest.raises(QuantizationError):
+            dequantize_linear(np.array([1]), -1.0)
+
+    @given(st.lists(st.floats(-10, 10, allow_nan=False), min_size=1, max_size=64))
+    def test_roundtrip_error_bounded_by_half_step(self, values):
+        arr = np.array(values)
+        scale = choose_scale(arr, 8)
+        q = quantize_linear(arr, scale, 8)
+        recon = dequantize_linear(q, scale)
+        assert np.max(np.abs(recon - arr)) <= scale / 2 + 1e-12
+
+    def test_choose_scale_zero_input(self):
+        assert choose_scale(np.zeros(4), 8) == 1.0
+
+    def test_choose_scale_covers_max(self):
+        arr = np.array([-3.0, 2.0])
+        scale = choose_scale(arr, 8)
+        assert quantize_linear(arr, scale, 8)[0] == -127
+
+
+class TestRequantize:
+    def test_identity_when_scales_equal(self):
+        acc = np.array([5, -7])
+        assert np.array_equal(requantize(acc, 0.1, 0.1, 8), acc)
+
+    def test_rescaling(self):
+        assert requantize(np.array([100]), 0.01, 0.1, 8)[0] == 10
+
+    def test_saturates(self):
+        assert requantize(np.array([10_000]), 1.0, 1.0, 8)[0] == 127
+
+    def test_invalid_scales(self):
+        with pytest.raises(QuantizationError):
+            requantize(np.array([1]), 0.0, 1.0, 8)
