@@ -1,0 +1,78 @@
+"""Perf regression guard for the vectorized bit-plane MAC engine.
+
+The full benchmark (``scripts/bench.py``) records ~40x on the 256-wide
+int8 ``CMem.mac`` workload; this test asserts a deliberately conservative
+floor so it stays green on slow or noisy CI machines while still catching
+a genuine regression (e.g. the fast path silently falling back to the
+per-pair loop, which would read as ~1x).
+"""
+
+from __future__ import annotations
+
+import time
+
+import numpy as np
+
+from repro.cmem.cmem import CMem
+
+SPEEDUP_FLOOR = 15.0
+
+
+def _staged_pair(fast: bool):
+    rng = np.random.default_rng(11)
+    a = rng.integers(-128, 128, 256)
+    b = rng.integers(-128, 128, 256)
+    cmem = CMem(fast_path=fast)
+    cmem.store_vector_transposed(1, 0, a, 8, signed=True)
+    cmem.store_vector_transposed(1, 8, b, 8, signed=True)
+    return cmem, int(np.dot(a, b))
+
+
+def _best_per_call(fn, reps: int, rounds: int = 3) -> float:
+    fn()
+    best = float("inf")
+    for _ in range(rounds):
+        t0 = time.perf_counter()
+        for _ in range(reps):
+            fn()
+        best = min(best, (time.perf_counter() - t0) / reps)
+    return best
+
+
+def test_fast_mac_beats_reference_by_wide_margin():
+    ref_cmem, expected = _staged_pair(fast=False)
+    fast_cmem, _ = _staged_pair(fast=True)
+    assert ref_cmem.mac(1, 0, 8, 8) == expected
+    assert fast_cmem.mac(1, 0, 8, 8) == expected
+
+    t_ref = _best_per_call(lambda: ref_cmem.mac(1, 0, 8, 8), reps=20)
+    t_fast = _best_per_call(lambda: fast_cmem.mac(1, 0, 8, 8), reps=200)
+    speedup = t_ref / t_fast
+    assert speedup >= SPEEDUP_FLOOR, (
+        f"fast path only {speedup:.1f}x over reference "
+        f"(floor {SPEEDUP_FLOOR}x); did it fall back to the per-pair loop?"
+    )
+
+
+def test_mac_many_amortizes_below_single_mac():
+    rng = np.random.default_rng(12)
+    a = rng.integers(-128, 128, 256)
+    filters = [rng.integers(-128, 128, 256) for _ in range(7)]
+    cmem = CMem(fast_path=True)
+    cmem.store_vector_transposed(1, 0, a, 8, signed=True)
+    rows = []
+    for i, w in enumerate(filters):
+        row = 8 * (i + 1)
+        cmem.store_vector_transposed(1, row, w, 8, signed=True)
+        rows.append(row)
+    assert list(cmem.mac_many(1, 0, rows, 8)) == [
+        int(np.dot(a, w)) for w in filters
+    ]
+
+    t_single = _best_per_call(lambda: cmem.mac(1, 0, 8, 8), reps=200)
+    t_batched = _best_per_call(lambda: cmem.mac_many(1, 0, rows, 8), reps=200)
+    per_mac = t_batched / len(rows)
+    assert per_mac < t_single, (
+        f"batched MAC ({per_mac * 1e6:.1f}us/MAC) slower than single "
+        f"({t_single * 1e6:.1f}us) — batching amortization regressed"
+    )

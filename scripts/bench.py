@@ -1,0 +1,179 @@
+#!/usr/bin/env python3
+"""Performance benchmark of the vectorized bit-plane MAC engine.
+
+Times three workloads and writes the results to ``BENCH_macc.json`` at the
+repository root:
+
+1. **mac** — the in-cache MAC demo workload: a 256-wide int8 dot product
+   through ``CMem.mac``, fast path vs. the per-pair reference path.
+2. **mac_many** — a full slice of seven stationary filters evaluated with
+   one batched ``CMem.mac_many`` call per pass.
+3. **resnet18_segment** — a bit-true ``FunctionalNodeGroup`` running a
+   downscaled ResNet18 stage-1 convolution (conv1_x, 64 channels, 3x3)
+   end to end on the vectorized engine.
+
+Run:  python scripts/bench.py [--out BENCH_macc.json]
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import platform
+import sys
+import time
+
+sys.path.insert(0, os.path.join(os.path.dirname(__file__), "..", "src"))
+
+import numpy as np
+
+from repro.cmem.cmem import CMem
+from repro.core.functional import FunctionalNodeGroup, bit_true_min_nodes
+from repro.mapping.capacity import CapacityModel
+from repro.nn.workloads import ConvLayerSpec
+
+
+def _time_per_call(fn, *, min_reps: int = 5, budget_s: float = 1.0) -> float:
+    """Median-of-three timing; each sample amortizes over enough reps."""
+    fn()  # warm caches / JIT-less numpy dispatch
+    t0 = time.perf_counter()
+    fn()
+    once = time.perf_counter() - t0
+    reps = max(min_reps, int(budget_s / 3 / max(once, 1e-9)))
+    samples = []
+    for _ in range(3):
+        t0 = time.perf_counter()
+        for _ in range(reps):
+            fn()
+        samples.append((time.perf_counter() - t0) / reps)
+    return sorted(samples)[1]
+
+
+def bench_mac() -> dict:
+    rng = np.random.default_rng(1)
+    a = rng.integers(-128, 128, 256)
+    b = rng.integers(-128, 128, 256)
+
+    cmems = {}
+    for fast in (False, True):
+        cmem = CMem(fast_path=fast)
+        cmem.store_vector_transposed(1, 0, a, 8, signed=True)
+        cmem.store_vector_transposed(1, 8, b, 8, signed=True)
+        cmems[fast] = cmem
+    expected = int(np.dot(a, b))
+    assert cmems[True].mac(1, 0, 8, 8) == expected
+    assert cmems[False].mac(1, 0, 8, 8) == expected
+
+    t_ref = _time_per_call(lambda: cmems[False].mac(1, 0, 8, 8))
+    t_fast = _time_per_call(lambda: cmems[True].mac(1, 0, 8, 8))
+    return {
+        "workload": "256-wide int8 dot product (CMem.mac, slice 1)",
+        "reference_us_per_mac": t_ref * 1e6,
+        "fast_us_per_mac": t_fast * 1e6,
+        "reference_macs_per_sec": 1.0 / t_ref,
+        "fast_macs_per_sec": 1.0 / t_fast,
+        "speedup": t_ref / t_fast,
+    }
+
+
+def bench_mac_many() -> dict:
+    rng = np.random.default_rng(2)
+    a = rng.integers(-128, 128, 256)
+    filters = [rng.integers(-128, 128, 256) for _ in range(7)]
+
+    cmem = CMem(fast_path=True)
+    ref = CMem(fast_path=False)
+    for target in (cmem, ref):
+        target.store_vector_transposed(1, 0, a, 8, signed=True)
+        for i, w in enumerate(filters):
+            target.store_vector_transposed(1, 8 * (i + 1), w, 8, signed=True)
+    rows = [8 * (i + 1) for i in range(7)]
+    assert list(cmem.mac_many(1, 0, rows, 8)) == [
+        int(np.dot(a, w)) for w in filters
+    ]
+
+    t_many = _time_per_call(lambda: cmem.mac_many(1, 0, rows, 8)) / len(rows)
+    t_ref = _time_per_call(lambda: ref.mac(1, 0, 8, 8))
+    return {
+        "workload": "7 stationary int8 filters per slice (CMem.mac_many)",
+        "fast_us_per_mac": t_many * 1e6,
+        "fast_macs_per_sec": 1.0 / t_many,
+        "speedup_vs_reference_mac": t_ref / t_many,
+    }
+
+
+def bench_resnet18_segment() -> dict:
+    # conv1_x of ResNet18 (64 ch in/out, 3x3, stride 1) with the spatial
+    # extent cut to 6x6 so the bit-true group finishes in seconds.
+    spec = ConvLayerSpec(
+        index=1, name="conv1_x[6x6]", h=6, w=6, c=64, m=64,
+        r=3, s=3, stride=1, padding=1, n_bits=8,
+    )
+    rng = np.random.default_rng(3)
+    weights = rng.integers(-128, 128, (spec.m, spec.c, spec.r, spec.s))
+    bias = rng.integers(-1000, 1000, spec.m)
+    ifmap = rng.integers(-128, 128, (spec.c, spec.h, spec.w))
+
+    num_nodes = bit_true_min_nodes(spec, CapacityModel())
+    group = FunctionalNodeGroup(
+        spec, weights, bias, num_computing=num_nodes, bit_true=True,
+        fast_path=True,
+    )
+    t0 = time.perf_counter()
+    acc = group.run(ifmap)
+    wall = time.perf_counter() - t0
+
+    macs = group.stats.macs
+    return {
+        "workload": (
+            f"ResNet18 conv1_x bit-true segment (6x6 ifmap, {num_nodes} nodes)"
+        ),
+        "wall_s": wall,
+        "macs": int(macs),
+        "macs_per_sec": macs / wall,
+        "checksum": int(acc.sum()),
+    }
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--out",
+        default=os.path.join(os.path.dirname(__file__), "..", "BENCH_macc.json"),
+    )
+    args = parser.parse_args()
+
+    results = {
+        "python": platform.python_version(),
+        "numpy": np.__version__,
+        "machine": platform.machine(),
+        "mac": bench_mac(),
+        "mac_many": bench_mac_many(),
+        "resnet18_segment": bench_resnet18_segment(),
+    }
+    with open(args.out, "w") as f:
+        json.dump(results, f, indent=2)
+        f.write("\n")
+
+    mac = results["mac"]
+    print(
+        f"mac: ref {mac['reference_us_per_mac']:.1f}us  "
+        f"fast {mac['fast_us_per_mac']:.1f}us  "
+        f"speedup {mac['speedup']:.1f}x"
+    )
+    many = results["mac_many"]
+    print(
+        f"mac_many: {many['fast_us_per_mac']:.1f}us/MAC  "
+        f"({many['speedup_vs_reference_mac']:.1f}x vs reference mac)"
+    )
+    seg = results["resnet18_segment"]
+    print(
+        f"resnet18 segment: {seg['wall_s']:.2f}s wall, "
+        f"{seg['macs_per_sec']:.0f} MACs/s"
+    )
+    print(f"wrote {os.path.abspath(args.out)}")
+
+
+if __name__ == "__main__":
+    main()

@@ -48,7 +48,15 @@ class AdderTree:
         return self.width // self.lane_width
 
     def lane_mask_bits(self, mask: int) -> np.ndarray:
-        """Expand an 8-bit CSR mask to a per-bit-line 0/1 vector."""
+        """Expand an 8-bit CSR mask to a per-bit-line 0/1 vector.
+
+        Expansions are memoized per tree — the mask is a slice CSR that
+        rarely changes between consecutive MACs.  The cached vector is
+        read-only.
+        """
+        cached = self.__dict__.setdefault("_mask_cache", {}).get(mask)
+        if cached is not None:
+            return cached
         if not 0 <= mask < (1 << self.num_lanes):
             raise CMemError(
                 f"CSR mask {mask:#x} out of range for {self.num_lanes} lanes"
@@ -56,7 +64,10 @@ class AdderTree:
         lanes = np.array(
             [(mask >> lane) & 1 for lane in range(self.num_lanes)], dtype=np.uint8
         )
-        return np.repeat(lanes, self.lane_width)
+        bits = np.repeat(lanes, self.lane_width)
+        bits.setflags(write=False)
+        self._mask_cache[mask] = bits
+        return bits
 
     def popcount(self, bits: np.ndarray, mask: int = 0xFF) -> int:
         """Sum the masked AND bits (step 2 of the MAC pipeline)."""
@@ -66,6 +77,59 @@ class AdderTree:
                 f"adder tree expects {self.width} bits, got shape {bits.shape}"
             )
         return popcount(bits & self.lane_mask_bits(mask))
+
+    def popcount_batch(self, planes: np.ndarray, mask: int = 0xFF) -> np.ndarray:
+        """Masked popcount of many sensed planes in one matrix product.
+
+        ``planes`` is ``(num_pairs, width)``; the result is an ``int64``
+        vector of per-plane counts, bit-identical to calling
+        :meth:`popcount` on every plane.  The product runs in float32 —
+        counts are bounded by ``width`` (256), far below the 2^24 exact
+        integer range, so the BLAS path loses nothing.
+        """
+        planes = np.asarray(planes, dtype=np.uint8)
+        if planes.ndim != 2 or planes.shape[1] != self.width:
+            raise CMemError(
+                f"adder tree expects (*, {self.width}) planes, got shape "
+                f"{planes.shape}"
+            )
+        return (planes.astype(np.float32) @ self._mask_f32(mask)).astype(np.int64)
+
+    def _mask_f32(self, mask: int) -> np.ndarray:
+        cache = self.__dict__.setdefault("_mask_f32_cache", {})
+        mask_vec = cache.get(mask)
+        if mask_vec is None:
+            mask_vec = self.lane_mask_bits(mask).astype(np.float32)
+            mask_vec.setflags(write=False)
+            cache[mask] = mask_vec
+        return mask_vec
+
+    def popcount_outer(
+        self, planes_a: np.ndarray, planes_b: np.ndarray, mask: int = 0xFF
+    ) -> np.ndarray:
+        """Masked popcounts of all cross pairs of two bit-plane blocks.
+
+        ``planes_a`` is ``(n_a, width)`` and ``planes_b`` ``(n_b, width)``;
+        entry ``(i, j)`` of the ``(n_a, n_b)`` int64 result is the masked
+        popcount of ``planes_a[i] AND planes_b[j]`` — for 0/1 planes the
+        AND is a product, so the whole grid is one float32 matrix product
+        (exact: counts are bounded by ``width`` << 2^24).
+        """
+        planes_a = np.asarray(planes_a, dtype=np.uint8)
+        planes_b = np.asarray(planes_b, dtype=np.uint8)
+        if (
+            planes_a.ndim != 2
+            or planes_b.ndim != 2
+            or planes_a.shape[1] != self.width
+            or planes_b.shape[1] != self.width
+        ):
+            raise CMemError(
+                f"adder tree expects (*, {self.width}) plane blocks, got "
+                f"shapes {planes_a.shape} and {planes_b.shape}"
+            )
+        masked_a = planes_a.astype(np.float32) * self._mask_f32(mask)
+        counts = masked_a @ planes_b.astype(np.float32).T
+        return counts.astype(np.int64)
 
 
 @dataclass
@@ -85,3 +149,13 @@ class ShiftAccumulator:
         contribution = partial << shift
         self.value += -contribution if negative else contribution
         self.adds += 1
+
+    def fold_batch(self, total: int, num_partials: int) -> None:
+        """Load a pre-folded batch of ``num_partials`` shift-adds at once.
+
+        The vectorized MAC engine folds all partial popcounts in one
+        weighted matrix product; this records the result with the same
+        ``adds`` tally the per-partial :meth:`accumulate` loop would leave.
+        """
+        self.value += int(total)
+        self.adds += num_partials

@@ -9,6 +9,7 @@ NumPy dot product.  Cycle and energy costs follow Table 2 and Sec. 5.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from functools import lru_cache
 from typing import List, Optional, Sequence
 
 import numpy as np
@@ -18,7 +19,25 @@ from repro.cmem.adder_tree import AdderTree, ShiftAccumulator
 from repro.cmem.isa import CMemOp, cmem_op_cycles
 from repro.cmem.slice import CMemSlice, TransposeBuffer
 from repro.sram.energy import EnergyAccumulator, SRAMEnergy
-from repro.utils.bitops import pack_transposed, unpack_transposed
+from repro.utils.bitops import pack_transposed_cached, unpack_transposed
+
+
+@lru_cache(maxsize=64)
+def _row_offsets(n_bits: int) -> np.ndarray:
+    """Row offsets ``0..n_bits-1`` of one transposed operand, read-only."""
+    offs = np.arange(n_bits, dtype=np.intp)
+    offs.setflags(write=False)
+    return offs
+
+
+@lru_cache(maxsize=64)
+def _bit_weights(n_bits: int, signed: bool) -> np.ndarray:
+    """Per-bit-position weights ``+-2^i`` (sign bit negative if signed)."""
+    weights = (1 << np.arange(n_bits, dtype=np.int64)).astype(np.int64)
+    if signed:
+        weights[-1] = -weights[-1]
+    weights.setflags(write=False)
+    return weights
 
 
 @dataclass(frozen=True)
@@ -82,14 +101,30 @@ class CMemStats:
 
 
 class CMem:
-    """One node's computing memory: slice 0 + compute slices 1..S-1."""
+    """One node's computing memory: slice 0 + compute slices 1..S-1.
+
+    ``fast_path`` selects the execution engine for ``mac``/``mac_many``:
+
+    * ``True`` (default) — the vectorized bit-plane engine: all ``n^2``
+      dual-row activations of a MAC happen in one batched NumPy call and
+      the partial popcounts fold through a single weighted matrix product.
+    * ``False`` — the per-pair reference engine: one ``activate_pair`` +
+      adder-tree popcount + shift-accumulate per bit pair.
+
+    Both paths are bit-true and charge identical cycles, energy, and
+    operation counters; the differential tests in
+    ``tests/cmem/test_fast_path.py`` pin that equivalence.
+    """
 
     def __init__(
         self,
         config: CMemConfig = CMemConfig(),
         energy: Optional[SRAMEnergy] = None,
+        *,
+        fast_path: bool = True,
     ) -> None:
         self.config = config
+        self.fast_path = fast_path
         self.slice0 = TransposeBuffer()
         self.compute_slices: List[CMemSlice] = [
             CMemSlice(index=i) for i in range(1, config.num_slices)
@@ -133,17 +168,40 @@ class CMem:
         positions is the sign bit (two's complement).  Returns the scalar
         written back to a core register.
         """
+        sl = self._check_mac_operands(slice_index, row_a, [row_b], n_bits)
+        if mask is None:
+            mask = sl.csr_mask
+        self.accumulator.clear()
+        if self.fast_path:
+            value = self._mac_fast(sl, row_a, row_b, n_bits, signed, mask)
+        else:
+            value = self._mac_reference(sl, row_a, row_b, n_bits, signed, mask)
+        cycles = cmem_op_cycles(CMemOp.MAC_C, n_bits)
+        self.stats.charge(CMemOp.MAC_C, cycles)
+        self.energy.charge("mac")
+        return value
+
+    def _check_mac_operands(
+        self, slice_index: int, row_a: int, weight_rows: Sequence[int], n_bits: int
+    ) -> CMemSlice:
+        """Shared MAC validation; returns the target slice."""
         sl = self.slice(slice_index)
         if slice_index == 0:
             raise CMemError("slice 0 is the transpose buffer; MAC runs in slices 1+")
-        if mask is None:
-            mask = sl.csr_mask
-        if row_a + n_bits > sl.ROWS or row_b + n_bits > sl.ROWS:
+        if row_a + n_bits > sl.ROWS:
             raise CMemError("MAC operand rows exceed the slice")
-        ranges_overlap = not (row_a + n_bits <= row_b or row_b + n_bits <= row_a)
-        if ranges_overlap:
-            raise CMemError("MAC operand row ranges overlap")
-        self.accumulator.clear()
+        for row_b in weight_rows:
+            if row_b + n_bits > sl.ROWS:
+                raise CMemError("MAC operand rows exceed the slice")
+            if not (row_a + n_bits <= row_b or row_b + n_bits <= row_a):
+                raise CMemError("MAC operand row ranges overlap")
+        return sl
+
+    def _mac_reference(
+        self, sl: CMemSlice, row_a: int, row_b: int, n_bits: int,
+        signed: bool, mask: int,
+    ) -> int:
+        """The per-pair engine: one activation + popcount per bit pair."""
         sign_pos = n_bits - 1
         for i in range(n_bits):
             for j in range(n_bits):
@@ -151,10 +209,85 @@ class CMem:
                 partial = self.adder_tree.popcount(sensed.and_bits, mask)
                 negative = signed and ((i == sign_pos) != (j == sign_pos))
                 self.accumulator.accumulate(partial, i + j, negative=negative)
-        cycles = cmem_op_cycles(CMemOp.MAC_C, n_bits)
-        self.stats.charge(CMemOp.MAC_C, cycles)
-        self.energy.charge("mac")
         return self.accumulator.value
+
+    def _mac_fast(
+        self, sl: CMemSlice, row_a: int, row_b: int, n_bits: int,
+        signed: bool, mask: int,
+    ) -> int:
+        """The vectorized engine: all ``n^2`` pairs in one batched activation.
+
+        The fold is the closed form of the reference loop: with per-bit
+        weights ``w_i = +-2^i`` (negative at the sign position), the
+        accumulated value is ``w^T P w`` where ``P[i, j]`` is the masked
+        popcount of rows ``(row_a + i, row_b + j)`` — each term
+        ``w_i w_j P[i, j]`` is exactly ``+-popcount << (i + j)`` with the
+        sign the two's-complement rule dictates.
+        """
+        offs = _row_offsets(n_bits)
+        planes_a, planes_b = sl.activate_pairs_outer(
+            row_a + offs, row_b + offs, checked=False
+        )
+        partials = self.adder_tree.popcount_outer(planes_a, planes_b, mask)
+        weights = _bit_weights(n_bits, signed)
+        value = int(weights @ partials @ weights)
+        self.accumulator.fold_batch(value, n_bits * n_bits)
+        return self.accumulator.value
+
+    def mac_many(
+        self,
+        slice_index: int,
+        row_a: int,
+        weight_rows: Sequence[int],
+        n_bits: int,
+        *,
+        signed: bool = True,
+        mask: Optional[int] = None,
+    ) -> np.ndarray:
+        """Batched MAC.C: one ifmap vector against every resident filter.
+
+        Issues the equivalent of ``len(weight_rows)`` back-to-back ``mac``
+        calls — same operand ``row_a`` for the broadcast ifmap vector, one
+        base row per filter vector — and returns the per-filter scalars.
+        Cycles, energy, and per-pair activation counts are charged exactly
+        as the individual MAC.C instructions would be; only the Python-level
+        evaluation is fused (a single ``einsum`` over all bit planes).
+        """
+        weight_rows = [int(r) for r in weight_rows]
+        sl = self._check_mac_operands(slice_index, row_a, weight_rows, n_bits)
+        if mask is None:
+            mask = sl.csr_mask
+        if not weight_rows:
+            return np.zeros(0, dtype=np.int64)
+        if not self.fast_path:
+            return np.array(
+                [
+                    self.mac(
+                        slice_index, row_a, row_b, n_bits, signed=signed, mask=mask
+                    )
+                    for row_b in weight_rows
+                ],
+                dtype=np.int64,
+            )
+        k = len(weight_rows)
+        offs = _row_offsets(n_bits)
+        rows_b = (np.asarray(weight_rows, dtype=np.intp)[:, None] + offs).reshape(-1)
+        planes_a, planes_b = sl.activate_pairs_outer(
+            row_a + offs, rows_b, checked=False
+        )
+        # (n, k*n) popcount grid; bit pair (i, j) of filter f at [i, f*n + j].
+        partials = self.adder_tree.popcount_outer(planes_a, planes_b, mask)
+        weights = _bit_weights(n_bits, signed)
+        values = np.einsum(
+            "i,ikj,j->k", weights, partials.reshape(n_bits, k, n_bits), weights
+        )
+        cycles = cmem_op_cycles(CMemOp.MAC_C, n_bits)
+        for value in values:
+            self.accumulator.clear()
+            self.accumulator.fold_batch(int(value), n_bits * n_bits)
+            self.stats.charge(CMemOp.MAC_C, cycles)
+        self.energy.charge("mac", k)
+        return values.astype(np.int64)
 
     def move(
         self,
@@ -181,8 +314,14 @@ class CMem:
         self.energy.charge("write_row")
 
     def shift_row(self, slice_index: int, row: int, words: int) -> None:
-        """ShiftRow.C: align one row by 32-bit steps."""
+        """ShiftRow.C: align one row by 32-bit steps.
+
+        A zero-word shift never reaches the array (the slice early-returns),
+        so it charges neither cycles nor read/write energy.
+        """
         self.slice(slice_index).shift_row(row, words)
+        if words == 0:
+            return
         self.stats.charge(CMemOp.SHIFTROW_C, cmem_op_cycles(CMemOp.SHIFTROW_C))
         self.energy.charge("read_row")
         self.energy.charge("write_row")
@@ -224,11 +363,11 @@ class CMem:
             raise CMemError("transposed store exceeds the slice rows")
         if col_offset + len(values) > sl.COLS:
             raise CMemError("transposed store exceeds the slice columns")
-        bits = pack_transposed(values, n_bits, len(values), signed=signed)
-        for k in range(n_bits):
-            row_bits = sl.read_row(base_row + k)
-            row_bits[col_offset : col_offset + len(values)] = bits[k]
-            sl.write_row(base_row + k, row_bits)
+        # Weights are stationary, so encodings are memoized across stagings;
+        # the bulk row update keeps the read-modify-write accounting of the
+        # per-row loop it replaces.
+        bits = pack_transposed_cached(values, n_bits, len(values), signed=signed)
+        sl.array.update_rows(base_row, col_offset, bits)
         self.stats.vertical_writes += len(values)
         self.energy.charge("vertical_write", len(values))
 
@@ -244,10 +383,7 @@ class CMem:
     ) -> np.ndarray:
         """Read a transposed vector back as integers (testing helper)."""
         sl = self.slice(slice_index)
-        bits = np.stack(
-            [
-                sl.read_row(base_row + k)[col_offset : col_offset + n_elements]
-                for k in range(n_bits)
-            ]
-        )
+        bits = sl.array.read_rows(base_row, n_bits)[
+            :, col_offset : col_offset + n_elements
+        ]
         return unpack_transposed(bits, n_elements, signed=signed)

@@ -19,6 +19,7 @@ import numpy as np
 
 from repro.errors import CMemError, RowIndexError
 from repro.sram.array import SRAMArray, SRAMArrayConfig
+from repro.utils.bitops import bitplanes_to_bytes, bytes_to_bitplanes
 
 
 class CMemSlice:
@@ -86,6 +87,30 @@ class CMemSlice:
         self._check_row(row_b)
         return self.array.activate_pair(row_a, row_b)
 
+    def activate_pairs_batch(
+        self,
+        rows_a: Sequence[int],
+        rows_b: Sequence[int],
+        *,
+        checked: bool = True,
+    ):
+        """Batched dual-row activations (the vectorized MAC engine's core).
+
+        Validation is delegated to the array — slice rows and array rows
+        coincide — so the batch is not checked twice.
+        """
+        return self.array.activate_pairs_batch(rows_a, rows_b, checked=checked)
+
+    def activate_pairs_outer(
+        self,
+        rows_a: Sequence[int],
+        rows_b: Sequence[int],
+        *,
+        checked: bool = True,
+    ):
+        """All-pairs (MAC.C-pattern) activation, factored into plane blocks."""
+        return self.array.activate_pairs_outer(rows_a, rows_b, checked=checked)
+
 
 class TransposeBuffer(CMemSlice):
     """Slice 0: dual-addressed (byte-vertical + row) cache/transpose buffer."""
@@ -105,31 +130,35 @@ class TransposeBuffer(CMemSlice):
         return group, column
 
     def store_byte(self, addr: int, value: int) -> None:
-        """Vertical byte store: bit ``i`` goes to row ``8*group + i``."""
+        """Vertical byte store: bit ``i`` goes to row ``8*group + i``.
+
+        The byte goes through the 8T vertical port in one access, so the
+        array counts a single write (not one per bit).
+        """
         if not 0 <= value < 256:
             raise CMemError(f"byte value {value} out of range")
         group, column = self._locate(addr)
-        for i in range(8):
-            self.array.write_bits(8 * group + i, column, [(value >> i) & 1])
+        bits = (value >> np.arange(8)) & 1
+        self.array.write_vertical(8 * group, column, bits.astype(np.uint8))
 
     def load_byte(self, addr: int) -> int:
-        """Vertical byte load, inverse of :meth:`store_byte`."""
+        """Vertical byte load, inverse of :meth:`store_byte` (one read)."""
         group, column = self._locate(addr)
-        value = 0
-        for i in range(8):
-            value |= int(self.array.read_bits(8 * group + i, column, 1)[0]) << i
-        return value
+        bits = self.array.read_vertical(8 * group, column, 8).astype(np.int64)
+        return int(bits @ (1 << np.arange(8, dtype=np.int64)))
 
     def store_vector(self, group: int, values: Sequence[int], n_bits: int = 8) -> None:
         """Store a whole vector vertically into row groups starting at ``group``.
 
         Elements are written one per bit-line; ``n_bits`` of 16 uses two
         adjacent 8-row groups per element (the software layout the paper
-        describes for 16-bit data).
+        describes for 16-bit data).  All bytes of one row group land in a
+        single bulk transpose; the stats still count one vertical-port
+        access per byte, exactly as the per-byte stream would.
         """
         if n_bits % 8:
             raise CMemError(f"vertical stores are byte-granular, got {n_bits} bits")
-        values = list(values)
+        values = np.asarray(list(values), dtype=np.int64)
         if len(values) > self.COLS:
             raise CMemError(
                 f"vector of {len(values)} elements exceeds {self.COLS} bit-lines"
@@ -137,12 +166,11 @@ class TransposeBuffer(CMemSlice):
         n_groups = n_bits // 8
         if not 0 <= group <= self.ROWS // 8 - n_groups:
             raise CMemError(f"row group {group} out of range for {n_bits}-bit store")
-        mask = (1 << n_bits) - 1
-        for column, value in enumerate(values):
-            encoded = value & mask
-            for g in range(n_groups):
-                byte = (encoded >> (8 * g)) & 0xFF
-                self.store_byte((group + g) * self.COLS + column, byte)
+        encoded = values & ((1 << n_bits) - 1)
+        for g in range(n_groups):
+            byte_plane = (encoded >> (8 * g)) & 0xFF
+            planes = bytes_to_bitplanes(byte_plane)
+            self.array.write_vertical_planes(8 * (group + g), 0, planes)
 
     def load_vector(
         self, group: int, n_elements: int, n_bits: int = 8, *, signed: bool = False
@@ -152,11 +180,11 @@ class TransposeBuffer(CMemSlice):
             raise CMemError(f"vertical loads are byte-granular, got {n_bits} bits")
         n_groups = n_bits // 8
         out = np.zeros(n_elements, dtype=np.int64)
-        for column in range(n_elements):
-            value = 0
-            for g in range(n_groups):
-                value |= self.load_byte((group + g) * self.COLS + column) << (8 * g)
-            out[column] = value
+        for g in range(n_groups):
+            planes = self.array.read_vertical_planes(
+                8 * (group + g), 0, 8, n_elements
+            )
+            out |= bitplanes_to_bytes(planes).astype(np.int64) << (8 * g)
         if signed:
             sign = 1 << (n_bits - 1)
             out = np.where(out & sign, out - (1 << n_bits), out)

@@ -81,12 +81,14 @@ class FunctionalNodeGroup:
         *,
         bit_true: bool = False,
         capacity: Optional[CapacityModel] = None,
+        fast_path: bool = True,
     ) -> None:
         self.spec = spec
         self.weights = np.asarray(weights, dtype=np.int64)
         self.bias = np.asarray(bias, dtype=np.int64)
         self.num_computing = num_computing
         self.bit_true = bit_true
+        self.fast_path = fast_path
         self.capacity = capacity or CapacityModel()
         self.stats = GroupRunStats()
         self.ranges = split_filters_across_nodes(spec.m, num_computing)
@@ -106,7 +108,7 @@ class FunctionalNodeGroup:
                     stride=spec.stride, padding=spec.padding, n_bits=spec.n_bits,
                 )
                 layout = plan_node_layout(node_spec, count, self.capacity)
-                cmem = CMem()
+                cmem = CMem(fast_path=fast_path)
                 load_filters_into_cmem(
                     cmem, layout, self.weights[start : start + count]
                 )
@@ -122,7 +124,7 @@ class FunctionalNodeGroup:
         oh, ow = spec.ofmap_hw
         acc = np.zeros((spec.m, oh, ow), dtype=np.int64)
         acc += self.bias[:, None, None]
-        dc_buffer = CMem()  # the DC's own CMem: slice 0 is the transposer
+        dc_buffer = CMem(fast_path=self.fast_path)  # DC CMem: slice 0 transposes
         for y in range(spec.h):
             for x in range(spec.w):
                 vector = q_in[:, y, x]
@@ -138,9 +140,13 @@ class FunctionalNodeGroup:
                     for r, row_bits in enumerate(rows):
                         cmem.write_row(0, r, row_bits)
                         self.stats.row_transfers += 1
-                    # Broadcast and MAC (Algorithm 1).
+                    # Broadcast and MAC (Algorithm 1).  Entries that fire at
+                    # this pixel are grouped per slice so the whole slice's
+                    # filters go through one batched ``mac_many`` — the
+                    # cycle/energy charges are per weight row either way.
                     for s_idx in layout.slices_used:
                         cmem.move(0, 0, s_idx, 0, n)
+                    by_slice: Dict[int, list] = {}
                     for entry in layout.entries:
                         oy_num = y + spec.padding - entry.fr
                         ox_num = x + spec.padding - entry.fs
@@ -149,11 +155,16 @@ class FunctionalNodeGroup:
                         oy, ox = oy_num // spec.stride, ox_num // spec.stride
                         if not (0 <= oy < oh and 0 <= ox < ow):
                             continue
-                        psum = cmem.mac(
-                            entry.slice_index, 0, entry.row, n, signed=True
+                        by_slice.setdefault(entry.slice_index, []).append(
+                            (entry, oy, ox)
                         )
-                        self.stats.macs += 1
-                        acc[start + entry.filter_index, oy, ox] += psum
+                    for s_idx, fired in by_slice.items():
+                        psums = cmem.mac_many(
+                            s_idx, 0, [e.row for e, _, _ in fired], n, signed=True
+                        )
+                        self.stats.macs += len(fired)
+                        for (entry, oy, ox), psum in zip(fired, psums):
+                            acc[start + entry.filter_index, oy, ox] += int(psum)
         for node in self._nodes:
             if node is not None:
                 self.stats.cmem_energy_pj += node[2].energy.total_pj
@@ -226,6 +237,7 @@ def simulate_quantized_graph(
     nodes_per_layer: Optional[Dict[str, int]] = None,
     bit_true: bool = False,
     capacity: Optional[CapacityModel] = None,
+    fast_path: bool = True,
 ) -> Dict[str, np.ndarray]:
     """Run a quantized network with every conv/FC on a functional node group.
 
@@ -252,7 +264,7 @@ def simulate_quantized_graph(
             num = nodes_per_layer.get(name, default)
             group = FunctionalNodeGroup(
                 spec, layer.weight_q, layer.bias_q, num,
-                bit_true=bit_true, capacity=capacity,
+                bit_true=bit_true, capacity=capacity, fast_path=fast_path,
             )
             acc = group.run(q_in)
             from repro.nn.quantize import _requant
@@ -278,6 +290,7 @@ def simulate_quantized_graph(
                 num,
                 bit_true=bit_true,
                 capacity=capacity,
+                fast_path=fast_path,
             )
             acc = group.run(q_in.reshape(spec.c, 1, 1)).reshape(spec.m)
             from repro.nn.quantize import _requant

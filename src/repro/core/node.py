@@ -121,6 +121,7 @@ class MAICCNode:
         pipeline: Optional[PipelineConfig] = None,
         requant: Optional[RequantParams] = None,
         include_forward: bool = False,
+        fast_path: bool = True,
     ) -> None:
         self.spec = spec
         self.weights = np.asarray(weights, dtype=np.int64)
@@ -135,6 +136,7 @@ class MAICCNode:
             else np.asarray(bias, dtype=np.int64)
         )
         self.pipeline_config = pipeline or PipelineConfig()
+        self.fast_path = fast_path
         self.requant = requant or RequantParams(mult=1, shift=8)
         self.include_forward = include_forward
         self.layout: NodeLayout = plan_node_layout(spec, spec.m)
@@ -183,7 +185,10 @@ class MAICCNode:
         program = self.build_program(static=static)
         dc = _VirtualDC(self.spec, np.asarray(ifmap, dtype=np.int64), self.spec.n_bits)
         core = Core(
-            CoreConfig(pipeline=pipeline or self.pipeline_config),
+            CoreConfig(
+                pipeline=pipeline or self.pipeline_config,
+                cmem_fast_path=self.fast_path,
+            ),
             remote_handler=dc,
         )
         load_filters_into_cmem(core.cmem, self.layout, self.weights)

@@ -30,6 +30,9 @@ class CoreConfig:
 
     pipeline: PipelineConfig = field(default_factory=PipelineConfig)
     cmem: CMemConfig = field(default_factory=CMemConfig)
+    # Vectorized bit-plane MAC engine (functionally and stats-identical to
+    # the per-pair reference path, which remains for differential testing).
+    cmem_fast_path: bool = True
     # Area/power of one core at 28 nm / 1 GHz (paper Sec. 5).
     area_mm2: float = 0.014
     power_w: float = 0.008
@@ -49,7 +52,11 @@ class Core:
     ) -> None:
         self.config = config or CoreConfig()
         self.node_id = node_id
-        self.cmem = cmem if cmem is not None else CMem(self.config.cmem)
+        self.cmem = (
+            cmem
+            if cmem is not None
+            else CMem(self.config.cmem, fast_path=self.config.cmem_fast_path)
+        )
         self.regs = RegisterFile()
         self.memory = NodeMemory(
             slice0=self.cmem.slice0,

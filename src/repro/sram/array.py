@@ -16,7 +16,12 @@ from typing import Iterable, Sequence
 import numpy as np
 
 from repro.errors import ConfigurationError, SRAMError
-from repro.sram.bitline import BitlineResult, bitline_and_nor
+from repro.sram.bitline import (
+    BatchBitlineResult,
+    BitlineResult,
+    bitline_and_nor,
+    bitline_and_nor_batch,
+)
 
 
 @dataclass(frozen=True)
@@ -120,6 +125,114 @@ class SRAMArray:
         self.stats.writes += 1
         self._cells[row, col_start : col_start + bits.shape[0]] = bits
 
+    # -- vertical (8T) access ----------------------------------------------
+
+    def _check_vertical(self, row_start: int, height: int) -> None:
+        if not self.config.eight_transistor:
+            raise SRAMError(
+                "vertical access requires 8T cells (CMem slice 0 only)"
+            )
+        if row_start < 0 or row_start + height > self.config.rows:
+            raise SRAMError(
+                f"rows [{row_start}, {row_start + height}) out of range "
+                f"[0, {self.config.rows})"
+            )
+
+    def write_vertical(self, row_start: int, col: int, bits: Sequence[int]) -> None:
+        """Write one bit-column span through the 8T vertical port.
+
+        The whole span goes through the port in a single access — one
+        byte store of the transpose buffer — so it charges exactly one
+        write, not one per bit.
+        """
+        bits = np.asarray(bits, dtype=np.uint8)
+        self._check_vertical(row_start, bits.shape[0])
+        self._check_cols(col, 1)
+        self.stats.writes += 1
+        self._cells[row_start : row_start + bits.shape[0], col] = bits
+
+    def read_vertical(self, row_start: int, col: int, height: int) -> np.ndarray:
+        """Read one bit-column span through the 8T vertical port (one read)."""
+        self._check_vertical(row_start, height)
+        self._check_cols(col, 1)
+        self.stats.reads += 1
+        return self._cells[row_start : row_start + height, col].copy()
+
+    def write_vertical_planes(
+        self, row_start: int, col_start: int, planes: np.ndarray
+    ) -> None:
+        """Bulk vertical store: ``planes`` is ``(height, width)``; column
+        ``c`` lands in bit-lines ``col_start + c``, rows ``row_start..``.
+
+        Each column is one vertical-port access, so this charges
+        ``width`` writes — identical to ``width`` ``write_vertical`` calls.
+        """
+        planes = np.asarray(planes, dtype=np.uint8)
+        if planes.ndim != 2:
+            raise SRAMError(f"expected a 2-D bit matrix, got shape {planes.shape}")
+        self._check_vertical(row_start, planes.shape[0])
+        self._check_cols(col_start, planes.shape[1])
+        self.stats.writes += planes.shape[1]
+        self._cells[
+            row_start : row_start + planes.shape[0],
+            col_start : col_start + planes.shape[1],
+        ] = planes
+
+    def read_vertical_planes(
+        self, row_start: int, col_start: int, height: int, width: int
+    ) -> np.ndarray:
+        """Bulk vertical load, inverse of :meth:`write_vertical_planes`.
+
+        Charges ``width`` reads (one vertical-port access per column).
+        """
+        self._check_vertical(row_start, height)
+        self._check_cols(col_start, width)
+        self.stats.reads += width
+        return self._cells[
+            row_start : row_start + height, col_start : col_start + width
+        ].copy()
+
+    # -- bulk row access ----------------------------------------------------
+
+    def read_rows(self, row_start: int, n_rows: int) -> np.ndarray:
+        """Read ``n_rows`` consecutive word-lines as an ``(n_rows, cols)``
+        matrix, charging one read per row (same as ``read_row`` in a loop).
+        """
+        if row_start < 0 or row_start + n_rows > self.config.rows:
+            raise SRAMError(
+                f"rows [{row_start}, {row_start + n_rows}) out of range "
+                f"[0, {self.config.rows})"
+            )
+        self.stats.reads += n_rows
+        return self._cells[row_start : row_start + n_rows].copy()
+
+    def update_rows(self, row_start: int, col_start: int, planes: np.ndarray) -> None:
+        """Read-modify-write a column span of consecutive rows.
+
+        Row ``k`` of ``planes`` replaces columns
+        ``[col_start, col_start + width)`` of word-line ``row_start + k``.
+        Charges one read + one write per row — each row is sensed, merged
+        and driven back, exactly like the ``read_row``/``write_row`` pairs
+        this replaces.
+        """
+        planes = np.asarray(planes, dtype=np.uint8)
+        if planes.ndim != 2:
+            raise SRAMError(f"expected a 2-D bit matrix, got shape {planes.shape}")
+        n_rows, width = planes.shape
+        if row_start < 0 or row_start + n_rows > self.config.rows:
+            raise SRAMError(
+                f"rows [{row_start}, {row_start + n_rows}) out of range "
+                f"[0, {self.config.rows})"
+            )
+        self._check_cols(col_start, width)
+        if planes.size and planes.max() > 1:
+            raise SRAMError("row bits must be 0/1")
+        self.stats.reads += n_rows
+        self.stats.writes += n_rows
+        self._cells[row_start : row_start + n_rows, col_start : col_start + width] = (
+            planes
+        )
+
     def clear(self) -> None:
         """Zero the whole array (power-on state)."""
         self._cells[:] = 0
@@ -139,6 +252,81 @@ class SRAMArray:
             raise SRAMError("cannot activate the same word-line twice")
         self.stats.compute_activations += 1
         return bitline_and_nor(self._cells[row_a], self._cells[row_b])
+
+    def activate_pairs_batch(
+        self,
+        rows_a: Sequence[int],
+        rows_b: Sequence[int],
+        *,
+        checked: bool = True,
+    ) -> BatchBitlineResult:
+        """Activate many word-line pairs, one sensed plane per pair.
+
+        Functionally and statistically identical to ``len(rows_a)``
+        sequential :meth:`activate_pair` calls — each pair still counts as
+        one compute activation — but the AND/NOR planes are produced by a
+        single NumPy broadcast instead of a Python loop per pair.
+
+        ``checked=False`` skips the bounds/distinctness validation; only
+        callers that have already validated the pair ranges (the MAC engine
+        validates whole operand row ranges once per instruction) may use it.
+        """
+        rows_a = np.asarray(rows_a, dtype=np.intp)
+        rows_b = np.asarray(rows_b, dtype=np.intp)
+        if checked:
+            if rows_a.shape != rows_b.shape or rows_a.ndim != 1:
+                raise SRAMError(
+                    f"pair index vectors must be 1-D and equal length, got "
+                    f"{rows_a.shape} vs {rows_b.shape}"
+                )
+            if rows_a.size:
+                lo = min(int(rows_a.min()), int(rows_b.min()))
+                hi = max(int(rows_a.max()), int(rows_b.max()))
+                if lo < 0 or hi >= self.config.rows:
+                    raise SRAMError(
+                        f"row index out of range [0, {self.config.rows})"
+                    )
+                if np.any(rows_a == rows_b):
+                    raise SRAMError("cannot activate the same word-line twice")
+        self.stats.compute_activations += rows_a.size
+        return bitline_and_nor_batch(self._cells[rows_a], self._cells[rows_b])
+
+    def activate_pairs_outer(
+        self,
+        rows_a: Sequence[int],
+        rows_b: Sequence[int],
+        *,
+        checked: bool = True,
+    ) -> tuple:
+        """Activate every pair in ``rows_a x rows_b`` (the MAC.C pattern).
+
+        One MAC.C walks the full cross product of its two operand row
+        ranges, so the batch is expressed *factored*: the method returns
+        the two stacked bit-plane blocks ``(planes_a, planes_b)`` — the
+        AND plane of pair ``(i, j)`` is the elementwise product of
+        ``planes_a[i]`` and ``planes_b[j]`` — and peripheral folds
+        (:meth:`~repro.cmem.adder_tree.AdderTree.popcount_outer`) consume
+        the factors directly instead of materializing all
+        ``len(rows_a) * len(rows_b)`` planes.  Charges one compute
+        activation per pair, identical to the equivalent
+        :meth:`activate_pair` loop.
+        """
+        rows_a = np.asarray(rows_a, dtype=np.intp)
+        rows_b = np.asarray(rows_b, dtype=np.intp)
+        if checked:
+            for rows in (rows_a, rows_b):
+                if rows.ndim != 1:
+                    raise SRAMError("row index vectors must be 1-D")
+                if rows.size and (
+                    int(rows.min()) < 0 or int(rows.max()) >= self.config.rows
+                ):
+                    raise SRAMError(
+                        f"row index out of range [0, {self.config.rows})"
+                    )
+            if rows_a.size and rows_b.size and np.isin(rows_a, rows_b).any():
+                raise SRAMError("cannot activate the same word-line twice")
+        self.stats.compute_activations += rows_a.size * rows_b.size
+        return self._cells[rows_a], self._cells[rows_b]
 
     # -- convenience -------------------------------------------------------
 

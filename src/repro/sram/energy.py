@@ -36,16 +36,19 @@ class EnergyAccumulator:
     total_pj: float = 0.0
     by_op: dict = field(default_factory=dict)
 
-    def charge(self, op: str, count: int = 1) -> None:
-        per_op = {
+    def __post_init__(self) -> None:
+        # Built once: charge() sits on the per-MAC hot path.
+        self._per_op = {
             "vertical_write": self.energy.vertical_write_pj,
             "move": self.energy.move_pj,
             "mac": self.energy.mac_pj,
             "remote_row": self.energy.remote_row_pj,
             "read_row": self.energy.read_row_pj,
             "write_row": self.energy.write_row_pj,
-        }[op]
-        amount = per_op * count
+        }
+
+    def charge(self, op: str, count: int = 1) -> None:
+        amount = self._per_op[op] * count
         self.total_pj += amount
         self.by_op[op] = self.by_op.get(op, 0.0) + amount
 

@@ -12,6 +12,7 @@ of every element.
 
 from __future__ import annotations
 
+from functools import lru_cache
 from typing import Union
 
 import numpy as np
@@ -113,3 +114,66 @@ def unpack_transposed(
     if n_elements is not None:
         bits = bits[:, :n_elements]
     return bits_to_int(bits, signed=signed)
+
+
+def bytes_to_bitplanes(byte_values: IntArray) -> np.ndarray:
+    """Explode a byte vector into an ``(8, len)`` transposed bit matrix.
+
+    Row ``i`` holds bit ``i`` (LSB first) of every byte — the layout a
+    vertical byte-store stream produces in CMem slice 0.  One
+    ``np.unpackbits`` call replaces the eight-Python-calls-per-byte loop.
+    """
+    byte_values = np.asarray(byte_values)
+    if byte_values.ndim != 1:
+        raise SRAMError(f"expected a 1-D byte vector, got shape {byte_values.shape}")
+    if byte_values.size and (byte_values.min() < 0 or byte_values.max() > 0xFF):
+        raise SRAMError("byte values must be in [0, 255]")
+    return np.unpackbits(
+        byte_values.astype(np.uint8).reshape(-1, 1), axis=1, bitorder="little"
+    ).T
+
+
+def bitplanes_to_bytes(planes: np.ndarray) -> np.ndarray:
+    """Collapse an ``(8, len)`` transposed bit matrix back to a byte vector."""
+    planes = np.asarray(planes, dtype=np.uint8)
+    if planes.shape[0] != 8:
+        raise SRAMError(f"expected 8 bit planes, got shape {planes.shape}")
+    return np.packbits(planes.T, axis=1, bitorder="little").reshape(-1)
+
+
+@lru_cache(maxsize=4096)
+def _pack_transposed_cached(
+    key: bytes, n_values: int, n_bits: int, width: int, signed: bool
+) -> np.ndarray:
+    values = np.frombuffer(key, dtype=np.int64, count=n_values)
+    bits = pack_transposed(values, n_bits, width, signed=signed)
+    bits.setflags(write=False)  # shared across callers; must stay immutable
+    return bits
+
+
+def pack_transposed_cached(
+    values: IntArray, n_bits: int, width: int, *, signed: bool = False
+) -> np.ndarray:
+    """Memoized :func:`pack_transposed` for stationary data.
+
+    Filter weights are encoded into transposed bit matrices every time a
+    node layout is staged, but the weights themselves never change during a
+    run — so the encodings are cached keyed on ``(values, n_bits, width,
+    signed)``.  The returned matrix is read-only; copy before mutating.
+    """
+    values = np.ascontiguousarray(values, dtype=np.int64)
+    if values.ndim != 1:
+        raise SRAMError(f"expected a 1-D vector, got shape {values.shape}")
+    return _pack_transposed_cached(
+        values.tobytes(), values.shape[0], n_bits, width, bool(signed)
+    )
+
+
+def pack_cache_info():
+    """Hit/miss statistics of the transposed-weight cache (for tests)."""
+    return _pack_transposed_cached.cache_info()
+
+
+def pack_cache_clear() -> None:
+    """Drop all memoized weight encodings (test isolation helper)."""
+    _pack_transposed_cached.cache_clear()

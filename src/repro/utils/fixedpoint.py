@@ -34,7 +34,11 @@ def choose_scale(values: np.ndarray, n_bits: int, *, signed: bool = True) -> flo
     if max_abs == 0.0:
         return 1.0
     levels = (1 << (n_bits - 1)) - 1 if signed else (1 << n_bits) - 1
-    return max_abs / levels
+    scale = max_abs / levels
+    # Subnormal max_abs can underflow the division to exactly 0.0, which
+    # quantize_linear rejects; the unscaled magnitude is still a valid
+    # (conservative) scale there.
+    return scale if scale > 0.0 else max_abs
 
 
 def quantize_linear(
