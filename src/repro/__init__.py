@@ -15,6 +15,7 @@ Quickstart::
     print(result.latency_ms, result.throughput_per_watt)
 """
 
+from repro.analysis import lint_text, schedule_kernel, verify_program
 from repro.cmem import CMem, CMemConfig
 from repro.core import (
     ChipConfig,
@@ -77,5 +78,8 @@ __all__ = [
     "Pipeline",
     "PipelineConfig",
     "assemble",
+    "lint_text",
+    "schedule_kernel",
+    "verify_program",
     "__version__",
 ]

@@ -1,0 +1,62 @@
+"""Static analysis over assembled MAICC programs.
+
+The paper schedules its six CMem extension instructions both dynamically
+(FIFO issue queue + scoreboard, Sec. 3.3) and statically by compile-time
+reordering, and its kernels lean on software vector locks (Algorithm 1's
+``p``/``nextp`` flags).  This package turns those invariants into
+machine-checked properties over ``List[Instruction]`` — without running
+the program:
+
+* :func:`verify_program` / :class:`KernelVerifier` — basic blocks,
+  def-use dataflow, a symbolic scoreboard replay, CMem geometry and
+  lock-protocol rules (catalog in :mod:`repro.analysis.rules`, docs in
+  ``docs/ANALYSIS.md``);
+* :func:`schedule_kernel` / :func:`estimate_cycles` — the static list
+  scheduler plus an exact (for branch-free kernels) cycle predictor that
+  mirrors :mod:`repro.riscv.pipeline`;
+* ``scripts/lint_kernel.py`` — the command-line front end.
+"""
+
+from repro.analysis.cfg import (
+    BasicBlock,
+    ControlFlowGraph,
+    build_cfg,
+    compute_defined,
+    compute_liveness,
+)
+from repro.analysis.diagnostics import Diagnostic, LintReport, Severity
+from repro.analysis.rules import RULES, Rule, rule
+from repro.analysis.scheduler import (
+    ScheduleReport,
+    TimingEstimate,
+    estimate_cycles,
+    schedule_kernel,
+)
+from repro.analysis.verifier import (
+    AnalysisConfig,
+    KernelVerifier,
+    lint_text,
+    verify_program,
+)
+
+__all__ = [
+    "AnalysisConfig",
+    "BasicBlock",
+    "ControlFlowGraph",
+    "Diagnostic",
+    "KernelVerifier",
+    "LintReport",
+    "RULES",
+    "Rule",
+    "rule",
+    "ScheduleReport",
+    "Severity",
+    "TimingEstimate",
+    "build_cfg",
+    "compute_defined",
+    "compute_liveness",
+    "estimate_cycles",
+    "lint_text",
+    "schedule_kernel",
+    "verify_program",
+]

@@ -1,0 +1,241 @@
+"""Static list scheduling with a predictive cycle model.
+
+Sec. 3.3's second scheduling approach: since CMem latencies and data
+dependences are known after "compilation", independent instructions can be
+moved into the delay slots of multi-cycle CMem ops at compile time.  The
+reorder itself is the dependence-safe list scheduler of
+:func:`repro.core.scheduler.static_schedule`; this module adds what a
+compiler needs to *trust* it:
+
+* :func:`estimate_cycles` — a symbolic replay of the
+  :class:`repro.riscv.pipeline.Pipeline` issue rules (scoreboard RAW/WAW,
+  the shared :class:`~repro.riscv.pipeline.CMemIssueQueue`, the
+  unpipelined divider, write-back ports) that needs no executor and no
+  data.  For branch-free programs with statically resolvable addresses —
+  every unrolled Algorithm-1 kernel — the prediction is *exact*: it
+  reproduces the simulated cycle count bit-for-bit, which
+  ``tests/analysis/test_scheduler.py`` pins against the pipeline.
+* :func:`schedule_kernel` — reorder, re-verify (the scheduled program
+  must introduce no new lint errors), and report predicted stall savings.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence
+
+from repro.analysis.verifier import AnalysisConfig, verify_program
+from repro.core.scheduler import static_schedule
+from repro.errors import MemoryMapError, SchedulingError
+from repro.riscv.isa import FunctionalUnit, Instruction
+from repro.riscv.memory import AddressRegion, MemoryMap
+from repro.riscv.pipeline import CMemIssueQueue, PipelineConfig, instr_slices
+from repro.riscv.scoreboard import Scoreboard
+
+
+@dataclass(frozen=True)
+class TimingEstimate:
+    """Predicted execution profile of one program."""
+
+    cycles: int
+    instructions: int
+    raw_stall_cycles: int
+    waw_stall_cycles: int
+    structural_stall_cycles: int
+    wb_stall_cycles: int
+    # True when the model provably matches the pipeline: no branches and
+    # every memory access's region statically known.
+    exact: bool
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "cycles": self.cycles,
+            "instructions": self.instructions,
+            "raw_stall_cycles": self.raw_stall_cycles,
+            "waw_stall_cycles": self.waw_stall_cycles,
+            "structural_stall_cycles": self.structural_stall_cycles,
+            "wb_stall_cycles": self.wb_stall_cycles,
+            "exact": self.exact,
+        }
+
+
+def _static_region(instr: Instruction) -> Optional[AddressRegion]:
+    """Region of a load/store when the address is statically known."""
+    if instr.rs1 in (None, 0):
+        try:
+            return MemoryMap.region_of(instr.imm)
+        except MemoryMapError:
+            return None
+    return None
+
+
+def estimate_cycles(
+    program: Sequence[Instruction],
+    config: Optional[PipelineConfig] = None,
+    *,
+    num_cmem_slices: int = 8,
+) -> TimingEstimate:
+    """Predict the pipeline cycle count of a program without executing it.
+
+    Mirrors :meth:`repro.riscv.pipeline.Pipeline.run` rule for rule —
+    in-order issue, scoreboard RAW/WAW, the CMem issue queue and per-slice
+    occupancy, the unpipelined divider, write-back port arbitration, and
+    the final drain — but walks the instruction list linearly.  Branches
+    are assumed not taken and unknown-address memory accesses local, and
+    either assumption marks the estimate inexact.
+    """
+    cfg = config or PipelineConfig()
+    sb = Scoreboard()
+    cmem = CMemIssueQueue(cfg.cmem_queue_size, num_cmem_slices)
+    wb_slots: Dict[int, int] = {}
+    muldiv_free = 0
+    next_fetch = 0
+    raw = waw = structural = wb_stall = 0
+    executed = 0
+    exact = True
+
+    def reserve_wb(completion: int) -> int:
+        cycle = completion
+        while wb_slots.get(cycle, 0) >= cfg.writeback_ports:
+            cycle += 1
+        wb_slots[cycle] = wb_slots.get(cycle, 0) + 1
+        return cycle
+
+    for instr in program:
+        spec = instr.spec
+        executed += 1
+        issue = next_fetch
+
+        source_ready = 0
+        if spec.reads_rs1 and instr.rs1:
+            source_ready = max(source_ready, sb.ready_time(instr.rs1))
+        if spec.reads_rs2 and instr.rs2:
+            source_ready = max(source_ready, sb.ready_time(instr.rs2))
+        if source_ready > issue:
+            raw += source_ready - issue
+            issue = source_ready
+
+        if spec.writes_rd and instr.rd:
+            waw_ready = sb.write_time(instr.rd)
+            if waw_ready > issue:
+                waw += waw_ready - issue
+                issue = waw_ready
+
+        if spec.unit is FunctionalUnit.MULDIV:
+            if muldiv_free > issue:
+                structural += muldiv_free - issue
+                issue = muldiv_free
+        elif spec.unit is FunctionalUnit.CMEM:
+            gated = cmem.earliest_issue(issue)
+            if cmem.queue_size == 0:
+                for s in instr_slices(instr):
+                    gated = max(gated, cmem.slice_free[s] - 1)
+                gated = max(gated, cmem.last_start)
+            if gated > issue:
+                structural += gated - issue
+                issue = gated
+
+        latency = instr.latency()
+        if spec.unit is FunctionalUnit.CMEM:
+            start = cmem.dispatch(issue + 1, instr_slices(instr), latency)
+            completion = start + latency
+            if instr.opcode == "loadrow.rc":
+                completion += cfg.remote_latency
+            elif instr.opcode == "storerow.rc":
+                completion += cfg.remote_store_latency
+        else:
+            if spec.unit is FunctionalUnit.MEM:
+                region = _static_region(instr)
+                if region is None and instr.rs1 not in (None, 0):
+                    exact = False  # unknown address: assume local
+                if region is AddressRegion.REMOTE_CORE:
+                    latency = (
+                        cfg.remote_latency
+                        if (spec.is_load or spec.is_atomic)
+                        else cfg.remote_store_latency
+                    )
+                elif region is AddressRegion.DRAM:
+                    latency = cfg.dram_latency
+            completion = issue + latency
+            if spec.unit is FunctionalUnit.MULDIV:
+                muldiv_free = completion
+
+        if spec.writes_rd and instr.rd:
+            wb_cycle = reserve_wb(completion)
+            if wb_cycle > completion:
+                wb_stall += wb_cycle - completion
+            sb.set_ready(instr.rd, wb_cycle)
+
+        if instr.opcode == "halt":
+            break
+        if spec.is_branch:
+            exact = False  # assumed not taken
+        next_fetch = issue + 1
+
+    cycles = max(next_fetch, cmem.all_free_time(), sb.horizon())
+    return TimingEstimate(
+        cycles=cycles,
+        instructions=executed,
+        raw_stall_cycles=raw,
+        waw_stall_cycles=waw,
+        structural_stall_cycles=structural,
+        wb_stall_cycles=wb_stall,
+        exact=exact,
+    )
+
+
+@dataclass
+class ScheduleReport:
+    """Outcome of one static-scheduling pass."""
+
+    baseline: TimingEstimate
+    scheduled: TimingEstimate
+    program: List[Instruction]
+
+    @property
+    def predicted_saving(self) -> int:
+        return self.baseline.cycles - self.scheduled.cycles
+
+    @property
+    def speedup(self) -> float:
+        if self.scheduled.cycles == 0:
+            return 1.0
+        return self.baseline.cycles / self.scheduled.cycles
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "baseline": self.baseline.to_dict(),
+            "scheduled": self.scheduled.to_dict(),
+            "predicted_saving": self.predicted_saving,
+            "speedup": self.speedup,
+        }
+
+
+def schedule_kernel(
+    program: Sequence[Instruction],
+    config: Optional[PipelineConfig] = None,
+    *,
+    num_cmem_slices: int = 8,
+    max_window: int = 400,
+    analysis_config: Optional[AnalysisConfig] = None,
+) -> ScheduleReport:
+    """List-schedule a program and predict the stall-cycle savings.
+
+    The scheduled program is re-verified: a reorder that introduces a lint
+    *error* the input did not have is a scheduler bug and raises
+    :class:`~repro.errors.SchedulingError` rather than silently emitting a
+    broken kernel.
+    """
+    scheduled = static_schedule(program, max_window=max_window)
+    before = verify_program(program, analysis_config)
+    after = verify_program(scheduled, analysis_config)
+    if len(after.errors) > len(before.errors):
+        raise SchedulingError(
+            "static schedule introduced lint errors: "
+            + "; ".join(d.render() for d in after.errors)
+        )
+    return ScheduleReport(
+        baseline=estimate_cycles(program, config, num_cmem_slices=num_cmem_slices),
+        scheduled=estimate_cycles(scheduled, config, num_cmem_slices=num_cmem_slices),
+        program=scheduled,
+    )

@@ -47,10 +47,20 @@ LOADROW_RC = CMemOp.LOADROW_RC
 STOREROW_RC = CMemOp.STOREROW_RC
 
 
+# Operand widths are bounded by the 32-bit word granularity of a CMem row
+# (ShiftRow.C aligns in 32-bit steps; a wider vector would straddle words).
+MAX_OPERAND_BITS = 32
+
+
 def cmem_op_cycles(op: CMemOp, n_bits: int = 8) -> int:
     """Cycle cost of one CMem operation per Table 2."""
     if n_bits < 1:
         raise CMemError(f"n_bits must be positive, got {n_bits}")
+    if n_bits > MAX_OPERAND_BITS:
+        raise CMemError(
+            f"n_bits {n_bits} exceeds the {MAX_OPERAND_BITS}-bit word "
+            "granularity of a CMem row"
+        )
     if op is CMemOp.MAC_C:
         return n_bits * n_bits
     if op is CMemOp.MOVE_C:

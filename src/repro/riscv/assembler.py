@@ -26,7 +26,7 @@ from __future__ import annotations
 import re
 from typing import Dict, List
 
-from repro.errors import AssemblerError
+from repro.errors import AssemblerError, DecodeError
 from repro.riscv.isa import Instruction, OPCODES
 from repro.riscv.registers import REG_NAMES, reg_index
 
@@ -96,18 +96,22 @@ class _Parser:
         spec = OPCODES[opcode]
         instr = Instruction(opcode=opcode, source_line=line_no)
 
-        if spec.cmem_op is not None:
-            self._parse_cmem(instr, operands, line_no)
-        elif spec.is_load and not spec.is_atomic:
-            self._parse_load(instr, operands, line_no)
-        elif spec.is_store and not spec.is_atomic:
-            self._parse_store(instr, operands, line_no)
-        elif spec.is_atomic:
-            self._parse_atomic(instr, operands, line_no)
-        elif spec.is_branch:
-            self._parse_branch(instr, operands, line_no)
-        else:
-            self._parse_alu(instr, operands, line_no)
+        try:
+            if spec.cmem_op is not None:
+                self._parse_cmem(instr, operands, line_no)
+            elif spec.is_load and not spec.is_atomic:
+                self._parse_load(instr, operands, line_no)
+            elif spec.is_store and not spec.is_atomic:
+                self._parse_store(instr, operands, line_no)
+            elif spec.is_atomic:
+                self._parse_atomic(instr, operands, line_no)
+            elif spec.is_branch:
+                self._parse_branch(instr, operands, line_no)
+            else:
+                self._parse_alu(instr, operands, line_no)
+        except DecodeError as exc:
+            # Bad register tokens surface as assembly errors with line info.
+            raise AssemblerError(f"line {line_no}: {exc}") from None
         self.instructions.append(instr)
 
     def _expect(self, operands: List[str], count: int, line_no: int, what: str) -> None:

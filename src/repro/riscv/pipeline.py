@@ -24,6 +24,7 @@ from repro.errors import ConfigurationError, SimulationError
 from repro.riscv.executor import Executor
 from repro.riscv.isa import FunctionalUnit, Instruction
 from repro.riscv.memory import AddressRegion
+from repro.riscv.scoreboard import Scoreboard
 
 
 @dataclass(frozen=True)
@@ -71,7 +72,7 @@ class PipelineStats:
         self.category_cycles[key] = self.category_cycles.get(key, 0) + cycles
 
 
-def _instr_slices(instr: Instruction) -> tuple:
+def instr_slices(instr: Instruction) -> tuple:
     """Target slice indices of a CMem instruction, known at decode."""
     cm = instr.cm
     if instr.opcode == "move.c":
@@ -79,8 +80,17 @@ def _instr_slices(instr: Instruction) -> tuple:
     return (cm.get("slice", 0),)
 
 
-class _CMemUnit:
-    """Issue-queue + per-slice occupancy model of the CMem."""
+# Back-compat alias (pre-analysis-subsystem name).
+_instr_slices = instr_slices
+
+
+class CMemIssueQueue:
+    """Issue-queue + per-slice occupancy model of the CMem.
+
+    Shared between :class:`Pipeline` (execution-driven timing) and the
+    static timing predictor of :mod:`repro.analysis.scheduler`, so the two
+    models cannot drift apart.
+    """
 
     def __init__(self, queue_size: int, num_slices: int) -> None:
         self.queue_size = queue_size
@@ -121,6 +131,10 @@ class _CMemUnit:
         return max(self.slice_free)
 
 
+# Back-compat alias (pre-analysis-subsystem name).
+_CMemUnit = CMemIssueQueue
+
+
 class Pipeline:
     """Executes a program and reports cycle-accurate-style timing."""
 
@@ -135,8 +149,8 @@ class Pipeline:
         self.executor = executor
         self.config = config
         self.stats = PipelineStats()
-        self.scoreboard_time = [0] * 32
-        self.cmem_unit = _CMemUnit(config.cmem_queue_size, num_cmem_slices)
+        self.scoreboard = Scoreboard()
+        self.cmem_unit = CMemIssueQueue(config.cmem_queue_size, num_cmem_slices)
         self.muldiv_free = 0
         self.wb_slots: Dict[int, int] = {}
         self.pc = 0
@@ -158,9 +172,9 @@ class Pipeline:
         ready = 0
         spec = instr.spec
         if spec.reads_rs1 and instr.rs1:
-            ready = max(ready, self.scoreboard_time[instr.rs1])
+            ready = max(ready, self.scoreboard.ready_time(instr.rs1))
         if spec.reads_rs2 and instr.rs2:
-            ready = max(ready, self.scoreboard_time[instr.rs2])
+            ready = max(ready, self.scoreboard.ready_time(instr.rs2))
         return ready
 
     # -- main loop ------------------------------------------------------------
@@ -198,8 +212,9 @@ class Pipeline:
                 raise SimulationError("cycle limit exceeded; runaway program?")
         # Total run time includes draining the CMem and outstanding writes.
         drain = max(
-            [self.next_fetch_time, self.cmem_unit.all_free_time()]
-            + [t for t in self.scoreboard_time]
+            self.next_fetch_time,
+            self.cmem_unit.all_free_time(),
+            self.scoreboard.horizon(),
         )
         self.stats.cycles = drain
         self.stats.cmem_busy_cycles = self.cmem_unit.busy_cycles
@@ -215,7 +230,7 @@ class Pipeline:
             issue = source_ready
 
         if spec.writes_rd and instr.rd:
-            waw_ready = self.scoreboard_time[instr.rd]
+            waw_ready = self.scoreboard.write_time(instr.rd)
             if waw_ready > issue:
                 self.stats.waw_stall_cycles += waw_ready - issue
                 issue = waw_ready
@@ -230,7 +245,7 @@ class Pipeline:
                 # No queue: the op must start the cycle after issue, so ID
                 # stalls until its target slices are free (decoded from the
                 # instruction's CMem operands) and dispatch order allows it.
-                for s in _instr_slices(instr):
+                for s in instr_slices(instr):
                     gated = max(gated, self.cmem_unit.slice_free[s] - 1)
                 gated = max(gated, self.cmem_unit.last_start)
             if gated > issue:
@@ -268,4 +283,4 @@ class Pipeline:
             wb_cycle = self._reserve_wb(completion)
             if wb_cycle > completion:
                 self.stats.wb_stall_cycles += wb_cycle - completion
-            self.scoreboard_time[instr.rd] = wb_cycle
+            self.scoreboard.set_ready(instr.rd, wb_cycle)

@@ -29,16 +29,24 @@ class Scoreboard:
         """Earliest issue cycle for a *writer* of ``reg`` (WAW ordering).
 
         A scoreboard without renaming cannot have two outstanding writes to
-        one register, so a new writer waits for the previous one to retire.
+        one register, so a new writer waits until the previous writer has
+        retired (written back) — the same cycle a reader may issue, hence
+        the shared ``reg_ready`` table.  Writes to ``x0`` are discarded in
+        hardware, so ``x0`` never constrains a writer.
         """
         if reg == 0:
             return 0
         return self.reg_ready[reg]
 
     def set_ready(self, reg: int, cycle: int) -> None:
+        """Record the write-back cycle of an in-flight write (no-op for x0)."""
         if reg == 0:
             return
         self.reg_ready[reg] = cycle
+
+    def horizon(self) -> int:
+        """Latest outstanding write-back cycle (the register-file drain)."""
+        return max(self.reg_ready)
 
     def reset(self) -> None:
         self.reg_ready = [0] * NUM_REGS

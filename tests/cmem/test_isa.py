@@ -35,3 +35,25 @@ class TestTable2:
         cost = CMemOpCost.of(CMemOp.MAC_C, 8)
         assert cost.cycles == 64
         assert cost.op is CMemOp.MAC_C
+
+
+class TestWordGranularityBound:
+    """Operands are bounded by the 32-bit word granularity of a CMem row."""
+
+    def test_max_width_accepted(self):
+        from repro.cmem.isa import MAX_OPERAND_BITS
+
+        assert MAX_OPERAND_BITS == 32
+        assert cmem_op_cycles(CMemOp.MAC_C, 32) == 1024
+        assert cmem_op_cycles(CMemOp.MOVE_C, 32) == 32
+
+    @pytest.mark.parametrize("n", [33, 64, 256])
+    def test_over_width_rejected(self, n):
+        for op in (CMemOp.MAC_C, CMemOp.MOVE_C):
+            with pytest.raises(CMemError, match="word granularity"):
+                cmem_op_cycles(op, n)
+
+    def test_boundary_is_exclusive(self):
+        cmem_op_cycles(CMemOp.MAC_C, 32)  # 32 is legal
+        with pytest.raises(CMemError):
+            cmem_op_cycles(CMemOp.MAC_C, 33)  # 33 is not

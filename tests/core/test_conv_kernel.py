@@ -102,3 +102,29 @@ class TestInstructionStream:
         program = node.build_program()
         assert any(i.opcode == "storerow.rc" for i in program)
         assert result.forwarded_rows == 16 * 8  # pixels * rows
+
+
+class TestStaticAnalysis:
+    """Generated kernels must lint clean and schedule predictably."""
+
+    def test_generated_kernel_lints_clean(self):
+        from repro.analysis import verify_program
+
+        node, _, _ = run_node(small_spec())
+        report = verify_program(node.build_program())
+        assert report.clean, report.render()
+
+    def test_schedule_prediction_matches_simulation(self):
+        from repro.analysis import schedule_kernel
+
+        spec = small_spec()
+        rng = np.random.default_rng(0)
+        weights = rng.integers(-128, 128, size=(spec.m, spec.c, spec.r, spec.s))
+        bias = rng.integers(-500, 500, size=spec.m)
+        ifmap = rng.integers(-128, 128, size=(spec.c, spec.h, spec.w))
+        node = MAICCNode(spec, weights, bias)
+
+        report = schedule_kernel(node.build_program())
+        assert report.baseline.cycles == node.run(ifmap).stats.cycles
+        assert report.scheduled.cycles == node.run(ifmap, static=True).stats.cycles
+        assert report.predicted_saving > 0

@@ -124,3 +124,58 @@ class TestErrors:
     def test_bad_integer(self):
         with pytest.raises(AssemblerError):
             assemble("li a0, banana")
+
+
+class TestErrorPaths:
+    """Malformed input must fail with a located AssemblerError, not leak
+    DecodeError or produce a half-assembled program."""
+
+    def test_bad_register_token(self):
+        with pytest.raises(AssemblerError, match="line 1: unknown register 'qq'"):
+            assemble("add a0, a1, qq")
+
+    def test_bad_register_in_memory_operand(self):
+        with pytest.raises(AssemblerError, match="unknown register 'xyz'"):
+            assemble("lw a0, 4(xyz)")
+
+    def test_bad_register_reports_source_line(self):
+        with pytest.raises(AssemblerError, match="line 3"):
+            assemble("li a0, 1\nli a1, 2\nadd a2, a1, bogus\nhalt")
+
+    @pytest.mark.parametrize(
+        "src, expect",
+        [
+            ("mac.c a0, 1, 0, 8", "mac.c expects 5 operands, got 4"),
+            ("loadrow.rc 0, 0", "loadrow.rc expects 3 operands, got 2"),
+            ("addi a0, a1", "addi expects 3 operands, got 2"),
+            ("beq a0, a1", "beq expects 3 operands, got 2"),
+            ("move.c 1, 0, 2, 0, 8, 9", "move.c expects 5 operands, got 6"),
+        ],
+    )
+    def test_wrong_operand_counts(self, src, expect):
+        with pytest.raises(AssemblerError, match=expect):
+            assemble(src)
+
+    def test_unresolved_branch_label(self):
+        with pytest.raises(AssemblerError, match="undefined label 'nowhere'"):
+            assemble("beq a0, a1, nowhere\nhalt")
+
+    def test_unresolved_jump_label(self):
+        with pytest.raises(AssemblerError, match="undefined label"):
+            assemble("li a0, 1\nj missing\nhalt")
+
+    def test_error_is_assembler_not_decode(self):
+        """DecodeError from operand parsing must be wrapped."""
+        from repro.errors import DecodeError
+
+        try:
+            assemble("add a0, a1, qq")
+        except AssemblerError:
+            pass
+        else:  # pragma: no cover
+            pytest.fail("expected AssemblerError")
+        with pytest.raises(AssemblerError):
+            try:
+                assemble("add a0, a1, qq")
+            except DecodeError:  # pragma: no cover
+                pytest.fail("DecodeError leaked through the assembler")
