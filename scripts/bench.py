@@ -12,7 +12,13 @@ repository root:
    downscaled ResNet18 stage-1 convolution (conv1_x, 64 channels, 3x3)
    end to end on the vectorized engine.
 
+Alongside the timing results, a telemetry snapshot of the same workloads
+(simulated cycle counts + the top-level metrics-registry counters) is
+written to ``BENCH_telemetry.json`` so the bench trajectory tracks *what
+the runs did*, not just how long they took.
+
 Run:  python scripts/bench.py [--out BENCH_macc.json]
+                              [--telemetry-out BENCH_telemetry.json]
 """
 
 from __future__ import annotations
@@ -28,8 +34,10 @@ sys.path.insert(0, os.path.join(os.path.dirname(__file__), "..", "src"))
 
 import numpy as np
 
+from repro import telemetry
 from repro.cmem.cmem import CMem
 from repro.core.functional import FunctionalNodeGroup, bit_true_min_nodes
+from repro.core.node import MAICCNode
 from repro.mapping.capacity import CapacityModel
 from repro.nn.workloads import ConvLayerSpec
 
@@ -136,11 +144,77 @@ def bench_resnet18_segment() -> dict:
     }
 
 
+def bench_telemetry() -> dict:
+    """Telemetry snapshot: workload cycle counts + top-level counters.
+
+    Runs a reduced cycle-level node workload and the bit-true ResNet18
+    segment with an active telemetry sink and records the registry's
+    counters.  Everything here is simulation state — deterministic across
+    machines — so the snapshot is diffable along the bench trajectory.
+    """
+    sink = telemetry.Telemetry()
+    with telemetry.use(sink):
+        # Cycle-level: 2 filters of 3x3x64 on a 5x5x64 ifmap (a scaled-down
+        # Table 4 shape that keeps the pipeline run under a second).
+        node_spec = ConvLayerSpec(
+            index=0, name="node[5x5x64]", h=5, w=5, c=64, m=2,
+            r=3, s=3, stride=1, padding=0,
+        )
+        rng = np.random.default_rng(5)
+        node = MAICCNode(
+            node_spec,
+            rng.integers(-128, 128, (node_spec.m, node_spec.c, node_spec.r, node_spec.s)),
+            rng.integers(-1000, 1000, node_spec.m),
+        )
+        node_result = node.run(
+            rng.integers(-128, 128, (node_spec.c, node_spec.h, node_spec.w))
+        )
+
+        # Functional tier: the same segment bench_resnet18_segment times.
+        seg_spec = ConvLayerSpec(
+            index=1, name="conv1_x[6x6]", h=6, w=6, c=64, m=64,
+            r=3, s=3, stride=1, padding=1, n_bits=8,
+        )
+        seg_rng = np.random.default_rng(3)
+        group = FunctionalNodeGroup(
+            seg_spec,
+            seg_rng.integers(-128, 128, (seg_spec.m, seg_spec.c, seg_spec.r, seg_spec.s)),
+            seg_rng.integers(-1000, 1000, seg_spec.m),
+            num_computing=bit_true_min_nodes(seg_spec, CapacityModel()),
+            bit_true=True,
+        )
+        group.run(seg_rng.integers(-128, 128, (seg_spec.c, seg_spec.h, seg_spec.w)))
+
+    return {
+        "workloads": {
+            "node_5x5x64": {
+                "cycles": int(node_result.stats.cycles),
+                "instructions": int(node_result.stats.instructions),
+                "cmem_busy_cycles": int(node_result.cmem_busy_cycles),
+            },
+            "resnet18_segment": {
+                "nodes": group.num_computing,
+                "vectors_streamed": int(group.stats.vectors_streamed),
+                "macs": int(group.stats.macs),
+                "row_transfers": int(group.stats.row_transfers),
+            },
+        },
+        "counters": sink.registry.as_dict()["counters"],
+        "trace_events": len(sink.trace),
+    }
+
+
 def main() -> None:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument(
         "--out",
         default=os.path.join(os.path.dirname(__file__), "..", "BENCH_macc.json"),
+    )
+    parser.add_argument(
+        "--telemetry-out",
+        default=os.path.join(
+            os.path.dirname(__file__), "..", "BENCH_telemetry.json"
+        ),
     )
     args = parser.parse_args()
 
@@ -154,6 +228,15 @@ def main() -> None:
     }
     with open(args.out, "w") as f:
         json.dump(results, f, indent=2)
+        f.write("\n")
+
+    telemetry_snapshot = {
+        "python": platform.python_version(),
+        "numpy": np.__version__,
+        **bench_telemetry(),
+    }
+    with open(args.telemetry_out, "w") as f:
+        json.dump(telemetry_snapshot, f, indent=2, sort_keys=True)
         f.write("\n")
 
     mac = results["mac"]
@@ -172,7 +255,14 @@ def main() -> None:
         f"resnet18 segment: {seg['wall_s']:.2f}s wall, "
         f"{seg['macs_per_sec']:.0f} MACs/s"
     )
+    tel = telemetry_snapshot["workloads"]
+    print(
+        f"telemetry: node {tel['node_5x5x64']['cycles']} cycles, "
+        f"segment {tel['resnet18_segment']['macs']} MACs "
+        f"({telemetry_snapshot['trace_events']} trace events)"
+    )
     print(f"wrote {os.path.abspath(args.out)}")
+    print(f"wrote {os.path.abspath(args.telemetry_out)}")
 
 
 if __name__ == "__main__":

@@ -45,6 +45,7 @@ from repro.nn import (
     run_quantized,
 )
 from repro.riscv import Core, CoreConfig, Pipeline, PipelineConfig, assemble
+from repro.telemetry import NullSink, Telemetry
 
 __version__ = "1.0.0"
 
@@ -81,5 +82,7 @@ __all__ = [
     "lint_text",
     "schedule_kernel",
     "verify_program",
+    "NullSink",
+    "Telemetry",
     "__version__",
 ]

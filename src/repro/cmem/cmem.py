@@ -19,6 +19,8 @@ from repro.cmem.adder_tree import AdderTree, ShiftAccumulator
 from repro.cmem.isa import CMemOp, cmem_op_cycles
 from repro.cmem.slice import CMemSlice, TransposeBuffer
 from repro.sram.energy import EnergyAccumulator, SRAMEnergy
+from repro.telemetry import TelemetrySink, current as _current_telemetry
+from repro.telemetry.hooks import publish_cmem_stats
 from repro.utils.bitops import pack_transposed_cached, unpack_transposed
 
 
@@ -122,6 +124,8 @@ class CMem:
         energy: Optional[SRAMEnergy] = None,
         *,
         fast_path: bool = True,
+        telemetry: Optional[TelemetrySink] = None,
+        track: str = "cmem",
     ) -> None:
         self.config = config
         self.fast_path = fast_path
@@ -133,6 +137,8 @@ class CMem:
         self.accumulator = ShiftAccumulator()
         self.stats = CMemStats()
         self.energy = EnergyAccumulator(energy=energy or SRAMEnergy())
+        self._telemetry = telemetry if telemetry is not None else _current_telemetry()
+        self.track = track
 
     # -- slice addressing -----------------------------------------------------
 
@@ -282,11 +288,23 @@ class CMem:
             "i,ikj,j->k", weights, partials.reshape(n_bits, k, n_bits), weights
         )
         cycles = cmem_op_cycles(CMemOp.MAC_C, n_bits)
+        busy_before = self.stats.busy_cycles
         for value in values:
             self.accumulator.clear()
             self.accumulator.fold_batch(int(value), n_bits * n_bits)
             self.stats.charge(CMemOp.MAC_C, cycles)
         self.energy.charge("mac", k)
+        if self._telemetry.enabled:
+            # One span per batched MAC burst on the device's busy-cycle
+            # clock (monotone by construction of ``CMemStats.charge``).
+            assert self._telemetry.trace is not None
+            self._telemetry.trace.complete(
+                self.track,
+                f"mac_burst[{k}]",
+                busy_before,
+                cycles * k,
+                args={"macs": k, "slice": slice_index, "n_bits": n_bits},
+            )
         return values.astype(np.int64)
 
     def move(
@@ -338,6 +356,17 @@ class CMem:
         self.slice(slice_index).write_row(row, bits)
         self.stats.charge(CMemOp.LOADROW_RC, cmem_op_cycles(CMemOp.LOADROW_RC))
         self.energy.charge("remote_row")
+
+    # -- telemetry -----------------------------------------------------------------
+
+    def publish_stats(self, prefix: Optional[str] = None) -> None:
+        """Publish the operation/cycle tally into the metrics registry.
+
+        No-op on a disabled sink.  Call once per logical run; counters
+        accumulate, so repeated publication double-counts by design only
+        if the caller re-publishes the same tally.
+        """
+        publish_cmem_stats(self._telemetry, prefix or self.track, self.stats)
 
     # -- data staging helpers ----------------------------------------------------
 

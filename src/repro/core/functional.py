@@ -17,12 +17,12 @@ Either way the result must equal the quantized reference engine exactly.
 from __future__ import annotations
 
 import math
-from dataclasses import dataclass
-from typing import Dict, Optional
+from dataclasses import dataclass, replace
+from typing import Dict, List, Optional
 
 import numpy as np
 
-from repro.cmem.cmem import CMem
+from repro.cmem.cmem import CMem, CMemStats
 from repro.core.datalayout import (
     load_filters_into_cmem,
     plan_node_layout,
@@ -32,6 +32,8 @@ from repro.errors import ConfigurationError
 from repro.mapping.capacity import CapacityModel
 from repro.nn.quantize import QConv2d, QLinear, QuantizedGraph, QInput
 from repro.nn.workloads import ConvLayerSpec
+from repro.telemetry import TelemetrySink, current as _current_telemetry
+from repro.telemetry.hooks import publish_cmem_stats, publish_group_stats
 
 
 @dataclass
@@ -82,6 +84,7 @@ class FunctionalNodeGroup:
         bit_true: bool = False,
         capacity: Optional[CapacityModel] = None,
         fast_path: bool = True,
+        telemetry: Optional[TelemetrySink] = None,
     ) -> None:
         self.spec = spec
         self.weights = np.asarray(weights, dtype=np.int64)
@@ -91,6 +94,9 @@ class FunctionalNodeGroup:
         self.fast_path = fast_path
         self.capacity = capacity or CapacityModel()
         self.stats = GroupRunStats()
+        self.telemetry = telemetry if telemetry is not None else _current_telemetry()
+        # Per-node MAC tally (both paths), for per-core telemetry tracks.
+        self._node_macs: List[int] = [0] * num_computing
         self.ranges = split_filters_across_nodes(spec.m, num_computing)
         if bit_true:
             if spec.c > self.capacity.cols:
@@ -98,7 +104,7 @@ class FunctionalNodeGroup:
                     "bit-true groups support C <= 256; use fast mode above"
                 )
             self._nodes = []
-            for start, count in self.ranges:
+            for k, (start, count) in enumerate(self.ranges):
                 if count == 0:
                     self._nodes.append(None)
                     continue
@@ -108,7 +114,11 @@ class FunctionalNodeGroup:
                     stride=spec.stride, padding=spec.padding, n_bits=spec.n_bits,
                 )
                 layout = plan_node_layout(node_spec, count, self.capacity)
-                cmem = CMem(fast_path=fast_path)
+                cmem = CMem(
+                    fast_path=fast_path,
+                    telemetry=self.telemetry,
+                    track=f"core/{k}/cmem",
+                )
                 load_filters_into_cmem(
                     cmem, layout, self.weights[start : start + count]
                 )
@@ -124,7 +134,8 @@ class FunctionalNodeGroup:
         oh, ow = spec.ofmap_hw
         acc = np.zeros((spec.m, oh, ow), dtype=np.int64)
         acc += self.bias[:, None, None]
-        dc_buffer = CMem(fast_path=self.fast_path)  # DC CMem: slice 0 transposes
+        # DC CMem: slice 0 transposes.
+        dc_buffer = CMem(fast_path=self.fast_path, telemetry=self.telemetry, track="dc/slice0")
         for y in range(spec.h):
             for x in range(spec.w):
                 vector = q_in[:, y, x]
@@ -132,7 +143,9 @@ class FunctionalNodeGroup:
                 dc_buffer.slice0.store_vector(0, [int(v) & 0xFF for v in vector], n)
                 rows = [dc_buffer.slice0.read_row(r) for r in range(n)]
                 self.stats.vectors_streamed += 1
-                for node, (start, count) in zip(self._nodes, self.ranges):
+                for k, (node, (start, count)) in enumerate(
+                    zip(self._nodes, self.ranges)
+                ):
                     if node is None:
                         continue
                     node_spec, layout, cmem = node
@@ -163,6 +176,7 @@ class FunctionalNodeGroup:
                             s_idx, 0, [e.row for e, _, _ in fired], n, signed=True
                         )
                         self.stats.macs += len(fired)
+                        self._node_macs[k] += len(fired)
                         for (entry, oy, ox), psum in zip(fired, psums):
                             acc[start + entry.filter_index, oy, ox] += int(psum)
         for node in self._nodes:
@@ -186,7 +200,7 @@ class FunctionalNodeGroup:
             for x in range(spec.w):
                 self.stats.vectors_streamed += 1
                 vector = padded[:, y, x]
-                for (start, count) in self.ranges:
+                for k, (start, count) in enumerate(self.ranges):
                     if count == 0:
                         continue
                     self.stats.row_transfers += spec.n_bits * sub_vectors
@@ -214,6 +228,7 @@ class FunctionalNodeGroup:
                                 lo, hi = sub * cols, (sub + 1) * cols
                                 psums = w_slab[:, lo:hi] @ vector[lo:hi]
                                 self.stats.macs += count
+                                self._node_macs[k] += count
                                 acc[start : start + count, oy, ox] += psums
         return acc
 
@@ -225,9 +240,91 @@ class FunctionalNodeGroup:
                 f"ifmap shape {q_in.shape} != "
                 f"({self.spec.c}, {self.spec.h}, {self.spec.w})"
             )
-        if self.bit_true:
-            return self._run_bit_true(q_in)
-        return self._run_fast(q_in)
+        telemetry = self.telemetry
+        if not telemetry.enabled:
+            if self.bit_true:
+                return self._run_bit_true(q_in)
+            return self._run_fast(q_in)
+        # Snapshot cumulative tallies so only *this* run is published.
+        group_before = replace(self.stats)
+        node_macs_before = list(self._node_macs)
+        cmem_before = [
+            replace(node[2].stats) if node is not None else None
+            for node in (self._nodes if self.bit_true else [])
+        ]
+        acc = self._run_bit_true(q_in) if self.bit_true else self._run_fast(q_in)
+        self._publish_run(group_before, node_macs_before, cmem_before)
+        return acc
+
+    def _publish_run(
+        self,
+        group_before: GroupRunStats,
+        node_macs_before: List[int],
+        cmem_before: List[Optional[CMemStats]],
+    ) -> None:
+        """Publish this run's deltas: registry counters + layer/core spans.
+
+        The trace clock is simulation-derived and deterministic: CMem busy
+        cycles in bit-true mode, MAC counts (one logical tick per MAC.C
+        the hardware would issue) in fast mode.  Spans start at each
+        track's cursor so consecutive layers stack sequentially.
+        """
+        telemetry = self.telemetry
+        assert telemetry.registry is not None and telemetry.trace is not None
+        trace = telemetry.trace
+        spec = self.spec
+        stats = self.stats
+        delta = GroupRunStats(
+            vectors_streamed=stats.vectors_streamed - group_before.vectors_streamed,
+            row_transfers=stats.row_transfers - group_before.row_transfers,
+            macs=stats.macs - group_before.macs,
+            cmem_energy_pj=stats.cmem_energy_pj - group_before.cmem_energy_pj,
+        )
+        publish_group_stats(telemetry, f"group/{spec.name}", delta)
+        durations: List[int] = []
+        for k in range(self.num_computing):
+            if self.bit_true:
+                node = self._nodes[k]
+                if node is None:
+                    continue
+                before = cmem_before[k]
+                assert before is not None
+                after = node[2].stats
+                dur = after.busy_cycles - before.busy_cycles
+                cmem_delta = CMemStats(
+                    macs=after.macs - before.macs,
+                    moves=after.moves - before.moves,
+                    set_rows=after.set_rows - before.set_rows,
+                    shift_rows=after.shift_rows - before.shift_rows,
+                    remote_rows=after.remote_rows - before.remote_rows,
+                    vertical_writes=after.vertical_writes - before.vertical_writes,
+                    busy_cycles=dur,
+                )
+                publish_cmem_stats(telemetry, f"core/{k}/cmem", cmem_delta)
+            else:
+                dur = self._node_macs[k] - node_macs_before[k]
+                if dur == 0:
+                    continue
+            durations.append(dur)
+            track = f"core/{k}"
+            trace.complete(
+                track, spec.name, trace.cursor(track), dur,
+                args={"macs": self._node_macs[k] - node_macs_before[k]},
+            )
+        layer_track = f"layer/{spec.name}"
+        trace.complete(
+            layer_track,
+            spec.name,
+            trace.cursor(layer_track),
+            max(durations, default=0),
+            args={
+                "vectors": delta.vectors_streamed,
+                "row_transfers": delta.row_transfers,
+                "macs": delta.macs,
+                "nodes": self.num_computing,
+                "clock": "cmem_busy_cycles" if self.bit_true else "macs",
+            },
+        )
 
 
 def simulate_quantized_graph(
@@ -238,6 +335,7 @@ def simulate_quantized_graph(
     bit_true: bool = False,
     capacity: Optional[CapacityModel] = None,
     fast_path: bool = True,
+    telemetry: Optional[TelemetrySink] = None,
 ) -> Dict[str, np.ndarray]:
     """Run a quantized network with every conv/FC on a functional node group.
 
@@ -247,6 +345,7 @@ def simulate_quantized_graph(
     """
     capacity = capacity or CapacityModel()
     nodes_per_layer = nodes_per_layer or {}
+    telemetry = telemetry if telemetry is not None else _current_telemetry()
     acts: Dict[str, np.ndarray] = {}
     for name in qgraph.order:
         node = qgraph.nodes[name]
@@ -265,6 +364,7 @@ def simulate_quantized_graph(
             group = FunctionalNodeGroup(
                 spec, layer.weight_q, layer.bias_q, num,
                 bit_true=bit_true, capacity=capacity, fast_path=fast_path,
+                telemetry=telemetry,
             )
             acc = group.run(q_in)
             from repro.nn.quantize import _requant
@@ -291,6 +391,7 @@ def simulate_quantized_graph(
                 bit_true=bit_true,
                 capacity=capacity,
                 fast_path=fast_path,
+                telemetry=telemetry,
             )
             acc = group.run(q_in.reshape(spec.c, 1, 1)).reshape(spec.m)
             from repro.nn.quantize import _requant

@@ -28,6 +28,7 @@ from repro.nn.workloads import ConvLayerSpec
 from repro.riscv.core import Core, CoreConfig
 from repro.riscv.isa import Instruction
 from repro.riscv.pipeline import PipelineConfig, PipelineStats
+from repro.telemetry import TelemetrySink, current as _current_telemetry
 from repro.utils.bitops import to_twos_complement
 
 
@@ -122,6 +123,8 @@ class MAICCNode:
         requant: Optional[RequantParams] = None,
         include_forward: bool = False,
         fast_path: bool = True,
+        telemetry: Optional[TelemetrySink] = None,
+        node_id: int = 0,
     ) -> None:
         self.spec = spec
         self.weights = np.asarray(weights, dtype=np.int64)
@@ -137,6 +140,8 @@ class MAICCNode:
         )
         self.pipeline_config = pipeline or PipelineConfig()
         self.fast_path = fast_path
+        self.telemetry = telemetry if telemetry is not None else _current_telemetry()
+        self.node_id = node_id
         self.requant = requant or RequantParams(mult=1, shift=8)
         self.include_forward = include_forward
         self.layout: NodeLayout = plan_node_layout(spec, spec.m)
@@ -190,6 +195,8 @@ class MAICCNode:
                 cmem_fast_path=self.fast_path,
             ),
             remote_handler=dc,
+            node_id=self.node_id,
+            telemetry=self.telemetry,
         )
         load_filters_into_cmem(core.cmem, self.layout, self.weights)
         for s in self.layout.slices_used:
@@ -209,6 +216,14 @@ class MAICCNode:
                     outputs[f, oy, ox] = core.memory.load(
                         plan.out_address(f, oy, ox), 1
                     )
+        if self.telemetry.enabled:
+            # The pipeline already published its own stats; add the CMem
+            # tally and the node-level outcome counters.
+            assert self.telemetry.registry is not None
+            core.cmem.publish_stats(f"core/{self.node_id}/cmem")
+            self.telemetry.registry.counter(
+                f"core/{self.node_id}/forwarded_rows"
+            ).add(dc.store_count)
         return NodeRunResult(
             stats=stats,
             psums=psums,

@@ -10,10 +10,12 @@ and default to DDR4-2400-like values.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, Tuple
+from typing import Dict, Optional, Tuple
 
 from repro.errors import DRAMError
 from repro.riscv.memory import DRAM_BASE, DRAM_CHANNELS, DRAM_END
+from repro.telemetry import TelemetrySink, current as _current_telemetry
+from repro.telemetry.hooks import publish_dram_stats
 
 
 @dataclass(frozen=True)
@@ -54,9 +56,14 @@ class DRAMStats:
 class DRAMController:
     """All 32 channels of the many-core DRAM behind one interface."""
 
-    def __init__(self, config: DRAMConfig = DRAMConfig()) -> None:
+    def __init__(
+        self,
+        config: DRAMConfig = DRAMConfig(),
+        telemetry: Optional[TelemetrySink] = None,
+    ) -> None:
         self.config = config
         self.stats = DRAMStats()
+        self._telemetry = telemetry if telemetry is not None else _current_telemetry()
         # (channel, bank) -> open row id, or -1 when precharged.
         self._open_row: Dict[Tuple[int, int], int] = {}
         # (channel, bank) -> busy-until time.
@@ -107,7 +114,22 @@ class DRAMController:
         else:
             self.stats.reads += 1
             self.stats.energy_pj += cfg.read_pj
+        if self._telemetry.enabled:
+            # One span per access on the bank's track; ``start`` is gated
+            # on the bank's busy-until time, so each track stays monotone.
+            assert self._telemetry.trace is not None
+            self._telemetry.trace.complete(
+                f"dram/ch{channel}/bank{bank}",
+                "write" if is_write else "read",
+                start,
+                latency,
+                args={"row": row, "hit": open_row == row},
+            )
         return (start - time) + latency
+
+    def publish_stats(self, prefix: str = "dram") -> None:
+        """Publish access/row/energy counters into the metrics registry."""
+        publish_dram_stats(self._telemetry, prefix, self.stats)
 
     # -- functional storage ---------------------------------------------------
 

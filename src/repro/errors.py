@@ -86,3 +86,7 @@ class SimulationError(ReproError):
 
 class SchedulingError(ReproError):
     """The static instruction scheduler detected an illegal reorder."""
+
+
+class TelemetryError(ReproError):
+    """Invalid metric path, trace event, or malformed exported trace."""

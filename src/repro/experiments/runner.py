@@ -4,8 +4,9 @@ from __future__ import annotations
 
 import argparse
 import sys
-from typing import Callable, Dict
+from typing import Callable, Dict, Optional
 
+from repro import telemetry as _telemetry
 from repro.experiments import ablations, figure9, figure10, table4, table5, table6, table7
 from repro.experiments.report import ExperimentResult, format_table
 
@@ -27,13 +28,18 @@ REGISTRY: Dict[str, Callable[[], ExperimentResult]] = {
 PAPER_EXPERIMENTS = ("table4", "table5", "table6", "table7", "figure9", "figure10")
 
 
-def run_experiment(name: str) -> ExperimentResult:
+def run_experiment(
+    name: str, telemetry: Optional[_telemetry.TelemetrySink] = None
+) -> ExperimentResult:
     try:
         runner = REGISTRY[name]
     except KeyError:
         raise SystemExit(
             f"unknown experiment {name!r}; available: {', '.join(sorted(REGISTRY))}"
         ) from None
+    if telemetry is not None:
+        with _telemetry.use(telemetry):
+            return runner()
     return runner()
 
 
@@ -54,6 +60,14 @@ def main(argv=None) -> int:
         "--all", action="store_true",
         help="run ablations too (default: the paper's tables/figures)",
     )
+    parser.add_argument(
+        "--metrics-out", metavar="PATH", default=None,
+        help="enable telemetry and write the metrics registry as JSON",
+    )
+    parser.add_argument(
+        "--trace-out", metavar="PATH", default=None,
+        help="enable telemetry and write a Perfetto-loadable trace JSON",
+    )
     args = parser.parse_args(argv)
     if args.list:
         for name in sorted(REGISTRY):
@@ -67,10 +81,22 @@ def main(argv=None) -> int:
         )
     else:
         names = list(PAPER_EXPERIMENTS)
+    sink: Optional[_telemetry.Telemetry] = None
+    if args.metrics_out or args.trace_out:
+        sink = _telemetry.Telemetry()
     for name in names:
-        result = run_experiment(name)
+        result = run_experiment(name, telemetry=sink)
         print(format_table(result))
         print()
+    if sink is not None:
+        if args.metrics_out:
+            with open(args.metrics_out, "w") as f:
+                f.write(sink.registry.to_json())
+                f.write("\n")
+        if args.trace_out:
+            with open(args.trace_out, "w") as f:
+                f.write(sink.trace.to_json())
+                f.write("\n")
     return 0
 
 

@@ -18,13 +18,15 @@ mesh (paper Sec. 5, measured with dsent).
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Tuple
+from typing import Dict, Optional, Tuple
 
 from repro.errors import NoCError
 from repro.noc.packet import Packet
 from repro.noc.router import hop_count, xy_route
+from repro.telemetry import TelemetrySink, current as _current_telemetry
 
 Coord = Tuple[int, int]
+Link = Tuple[Coord, Coord]
 
 
 @dataclass(frozen=True)
@@ -50,15 +52,36 @@ class NoCStats:
     def energy_pj(self, flit_energy_pj: float) -> float:
         return self.flit_hops * flit_energy_pj
 
+    @property
+    def avg_latency(self) -> float:
+        """Mean packet latency in cycles; 0.0 before any traffic."""
+        return self.total_latency / self.packets if self.packets else 0.0
+
+
+@dataclass
+class LinkStats:
+    """Occupancy of one directed link, derived from its busy-until time."""
+
+    packets: int = 0
+    busy_cycles: int = 0  # cycles the link was held by packet heads/bodies
+    max_wait: int = 0  # worst head-of-line blocking a packet saw here
+
 
 class MeshNoC:
     """A 2D-mesh interconnect with X-Y routing."""
 
-    def __init__(self, config: MeshConfig = MeshConfig()) -> None:
+    def __init__(
+        self,
+        config: MeshConfig = MeshConfig(),
+        telemetry: Optional[TelemetrySink] = None,
+    ) -> None:
         self.config = config
         self.stats = NoCStats()
         # busy-until time per directed link ((x,y) -> (x',y')).
-        self._link_free: Dict[Tuple[Coord, Coord], int] = {}
+        self._link_free: Dict[Link, int] = {}
+        # Per-link occupancy, populated by contention-aware sends.
+        self.link_stats: Dict[Link, LinkStats] = {}
+        self._telemetry = telemetry if telemetry is not None else _current_telemetry()
 
     def check_coord(self, coord: Coord) -> None:
         x, y = coord
@@ -97,17 +120,53 @@ class MeshNoC:
         """
         path = xy_route(packet.src, packet.dst, self.config.width, self.config.height)
         flits = packet.flits
+        telemetry = self._telemetry
         t = inject_time
         for a, b in zip(path, path[1:]):
             link = (a, b)
             free_at = self._link_free.get(link, 0)
-            t = max(t, free_at) + self.config.router_delay
+            wait = max(0, free_at - t)
+            start = max(t, free_at)
+            t = start + self.config.router_delay
             self._link_free[link] = t + flits - 1
+            occupancy = self.link_stats.get(link)
+            if occupancy is None:
+                occupancy = self.link_stats[link] = LinkStats()
+            occupancy.packets += 1
+            occupancy.busy_cycles += self.config.router_delay + flits - 1
+            if wait > occupancy.max_wait:
+                occupancy.max_wait = wait
+            if telemetry.enabled:
+                assert telemetry.trace is not None
+                telemetry.trace.complete(
+                    f"noc/{a[0]},{a[1]}->{b[0]},{b[1]}",
+                    packet.kind.value,
+                    start,
+                    self.config.router_delay + flits - 1,
+                    args={"flits": flits, "wait": wait},
+                )
         arrival = t + flits - 1
         self.stats.packets += 1
         self.stats.flit_hops += flits * (len(path) - 1)
         self.stats.total_latency += arrival - inject_time
         return arrival
 
+    # -- occupancy reporting -----------------------------------------------------
+
+    @property
+    def max_queue_depth(self) -> int:
+        """Worst head-of-line wait (cycles) any packet saw on any link."""
+        if not self.link_stats:
+            return 0
+        return max(s.max_wait for s in self.link_stats.values())
+
+    def busiest_link(self) -> Optional[Tuple[Link, LinkStats]]:
+        """The link that carried the most packets (ties break by coordinate)."""
+        if not self.link_stats:
+            return None
+        link = min(self.link_stats, key=lambda k: (-self.link_stats[k].packets, k))
+        return link, self.link_stats[link]
+
     def reset_contention(self) -> None:
         self._link_free.clear()
+        self.link_stats.clear()

@@ -17,6 +17,7 @@ from repro.riscv.isa import Instruction
 from repro.riscv.memory import NodeMemory, RemoteHandler
 from repro.riscv.pipeline import Pipeline, PipelineConfig, PipelineStats
 from repro.riscv.registers import RegisterFile
+from repro.telemetry import TelemetrySink, current as _current_telemetry
 
 
 @dataclass(frozen=True)
@@ -49,13 +50,22 @@ class Core:
         remote_handler: Optional[RemoteHandler] = None,
         dram_handler: Optional[RemoteHandler] = None,
         node_id: int = 0,
+        telemetry: Optional[TelemetrySink] = None,
+        track: Optional[str] = None,
     ) -> None:
         self.config = config or CoreConfig()
         self.node_id = node_id
+        self.telemetry = telemetry if telemetry is not None else _current_telemetry()
+        self.track = track if track is not None else f"core/{node_id}"
         self.cmem = (
             cmem
             if cmem is not None
-            else CMem(self.config.cmem, fast_path=self.config.cmem_fast_path)
+            else CMem(
+                self.config.cmem,
+                fast_path=self.config.cmem_fast_path,
+                telemetry=self.telemetry,
+                track=f"{self.track}/cmem-array",
+            )
         )
         self.regs = RegisterFile()
         self.memory = NodeMemory(
@@ -80,6 +90,8 @@ class Core:
             self.executor,
             self.config.pipeline,
             num_cmem_slices=self.cmem.config.num_slices,
+            telemetry=self.telemetry,
+            track=self.track,
         )
         self.last_stats = pipeline.run(max_instructions=max_instructions)
         return self.last_stats

@@ -17,14 +17,16 @@ until the CMem itself is free — the baseline column of Table 5.
 from __future__ import annotations
 
 from collections import deque
-from dataclasses import dataclass, field
-from typing import Deque, Dict, List, Optional
+from dataclasses import dataclass, field, replace
+from typing import Deque, Dict, Iterable, List, Optional
 
 from repro.errors import ConfigurationError, SimulationError
 from repro.riscv.executor import Executor
 from repro.riscv.isa import FunctionalUnit, Instruction
 from repro.riscv.memory import AddressRegion
 from repro.riscv.scoreboard import Scoreboard
+from repro.telemetry import TelemetrySink, current as _current_telemetry
+from repro.telemetry.hooks import publish_pipeline_stats
 
 
 @dataclass(frozen=True)
@@ -70,6 +72,42 @@ class PipelineStats:
             return
         key = category or "other"
         self.category_cycles[key] = self.category_cycles.get(key, 0) + cycles
+
+    def merge(self, other: "PipelineStats") -> "PipelineStats":
+        """Field-wise sum of two stat sets; returns a new object.
+
+        Aggregation across cores (or across split runs of one core) is a
+        plain sum of every counter, including the per-category breakdown;
+        derived quantities (``ipc``) recompute from the sums.  Merging is
+        associative and commutative, so merging per-core splits equals
+        the whole — pinned by a property test.
+        """
+        merged = replace(self, category_cycles=dict(self.category_cycles))
+        for name in (
+            "cycles",
+            "instructions",
+            "raw_stall_cycles",
+            "waw_stall_cycles",
+            "structural_stall_cycles",
+            "wb_stall_cycles",
+            "branch_flush_cycles",
+            "cmem_instructions",
+            "cmem_busy_cycles",
+        ):
+            setattr(merged, name, getattr(self, name) + getattr(other, name))
+        for category, cycles in other.category_cycles.items():
+            merged.category_cycles[category] = (
+                merged.category_cycles.get(category, 0) + cycles
+            )
+        return merged
+
+    @classmethod
+    def merge_all(cls, stats: Iterable["PipelineStats"]) -> "PipelineStats":
+        """Aggregate many cores' stats into one chip-level total."""
+        total = cls()
+        for s in stats:
+            total = total.merge(s)
+        return total
 
 
 def instr_slices(instr: Instruction) -> tuple:
@@ -144,6 +182,9 @@ class Pipeline:
         executor: Executor,
         config: PipelineConfig = PipelineConfig(),
         num_cmem_slices: int = 8,
+        *,
+        telemetry: Optional[TelemetrySink] = None,
+        track: str = "core/0",
     ) -> None:
         self.program = program
         self.executor = executor
@@ -156,6 +197,9 @@ class Pipeline:
         self.pc = 0
         self.next_fetch_time = 0
         self.halted = False
+        self.telemetry = telemetry if telemetry is not None else _current_telemetry()
+        self.track = track
+        self._trace_base = 0
 
     # -- helpers -------------------------------------------------------------
 
@@ -183,6 +227,14 @@ class Pipeline:
         """Run until ``halt`` (or the instruction/cycle guard trips)."""
         executed = 0
         last_issue = -1
+        telemetry = self.telemetry
+        if telemetry.enabled:
+            assert telemetry.trace is not None
+            # Re-runs on the same core lay out sequentially on its track.
+            self._trace_base = max(
+                telemetry.trace.cursor(self.track),
+                telemetry.trace.cursor(f"{self.track}/cmem"),
+            )
         while not self.halted:
             if self.pc < 0 or self.pc >= len(self.program):
                 raise SimulationError(f"PC {self.pc} outside the program")
@@ -218,6 +270,19 @@ class Pipeline:
         )
         self.stats.cycles = drain
         self.stats.cmem_busy_cycles = self.cmem_unit.busy_cycles
+        if telemetry.enabled:
+            assert telemetry.trace is not None
+            telemetry.trace.complete(
+                self.track,
+                "kernel",
+                self._trace_base,
+                drain,
+                args={
+                    "instructions": self.stats.instructions,
+                    "ipc": self.stats.ipc,
+                },
+            )
+            publish_pipeline_stats(telemetry, f"{self.track}/pipeline", self.stats)
         return self.stats
 
     def _issue_time(self, instr: Instruction) -> int:
@@ -265,6 +330,16 @@ class Pipeline:
                 completion += self.config.remote_latency
             elif instr.opcode == "storerow.rc":
                 completion += self.config.remote_store_latency
+            if self.telemetry.enabled:
+                # One span per CMem dispatch; starts are strictly
+                # increasing, so the cmem track stays monotone.
+                assert self.telemetry.trace is not None
+                self.telemetry.trace.complete(
+                    f"{self.track}/cmem",
+                    instr.opcode,
+                    self._trace_base + start,
+                    latency,
+                )
         else:
             if spec.unit is FunctionalUnit.MEM and result.mem_region is not None:
                 if result.mem_region is AddressRegion.REMOTE_CORE:

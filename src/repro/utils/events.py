@@ -3,6 +3,9 @@
 Used by the NoC and the many-core streaming simulator.  Events carry a
 timestamp, a monotonically increasing sequence number (for deterministic
 FIFO ordering among simultaneous events), and an arbitrary callback.
+Tagged events are surfaced to the telemetry recorder as instant events on
+the ``events`` track (one counter per tag), so a queue-driven simulation
+gets a timeline for free.
 """
 
 from __future__ import annotations
@@ -13,6 +16,7 @@ from dataclasses import dataclass, field
 from typing import Any, Callable, Optional
 
 from repro.errors import SimulationError
+from repro.telemetry import TelemetrySink, current as _current_telemetry
 
 
 @dataclass(order=True)
@@ -37,11 +41,12 @@ class EventQueue:
     ['a', 'b']
     """
 
-    def __init__(self) -> None:
+    def __init__(self, telemetry: Optional[TelemetrySink] = None) -> None:
         self._heap: list[Event] = []
         self._counter = itertools.count()
         self._now = 0.0
         self._processed = 0
+        self._telemetry = telemetry if telemetry is not None else _current_telemetry()
 
     @property
     def now(self) -> float:
@@ -79,21 +84,32 @@ class EventQueue:
         event = heapq.heappop(self._heap)
         self._now = event.time
         self._processed += 1
+        t = self._telemetry
+        if t.enabled and event.tag:
+            assert t.trace is not None and t.registry is not None
+            t.trace.instant("events", event.tag, event.time, args={"seq": event.seq})
+            t.registry.counter(f"events/by_tag/{event.tag}").inc()
         event.action()
         return event
 
     def run(self, until: Optional[float] = None, max_events: Optional[int] = None) -> float:
         """Run until the queue drains, ``until`` passes, or ``max_events`` hit.
 
-        Returns the simulation time after the run.
+        Returns the simulation time after the run.  When an ``until``
+        horizon is given and no undispatched event precedes it, time
+        advances to ``until`` even if the queue drained early (or was
+        empty); when ``max_events`` stops the run first, ``now`` stays at
+        the last dispatched event because pending events before ``until``
+        have not happened yet.
         """
         dispatched = 0
         while self._heap:
             if until is not None and self._heap[0].time > until:
-                self._now = until
                 break
             if max_events is not None and dispatched >= max_events:
-                break
+                return self._now
             self.step()
             dispatched += 1
+        if until is not None and until > self._now:
+            self._now = until
         return self._now

@@ -80,3 +80,72 @@ class TestContention:
         noc = MeshNoC(MeshConfig(width=4, height=4))
         with pytest.raises(NoCError):
             noc.latency((0, 0), (4, 0), 1)
+
+
+class TestAvgLatency:
+    def test_zero_packets_is_safe(self):
+        assert MeshNoC().stats.avg_latency == 0.0
+
+    def test_mean_over_sends(self):
+        noc = MeshNoC()
+        pkt = Packet(src=(0, 0), dst=(2, 0), kind=PacketKind.REMOTE_STORE)
+        noc.send(pkt, 0)
+        noc.send(pkt, 0)
+        assert noc.stats.avg_latency == noc.stats.total_latency / 2
+
+
+class TestLinkOccupancy:
+    def test_per_link_counters(self):
+        noc = MeshNoC()
+        pkt = Packet(src=(0, 0), dst=(2, 0), kind=PacketKind.ROW_TRANSFER)
+        noc.send(pkt, 0)
+        # X-Y path touches exactly the two eastbound links.
+        assert set(noc.link_stats) == {
+            ((0, 0), (1, 0)),
+            ((1, 0), (2, 0)),
+        }
+        hold = noc.config.router_delay + pkt.flits - 1
+        for stats in noc.link_stats.values():
+            assert stats.packets == 1
+            assert stats.busy_cycles == hold
+            assert stats.max_wait == 0
+
+    def test_contention_raises_max_wait_and_queue_depth(self):
+        noc = MeshNoC()
+        pkt = Packet(src=(0, 0), dst=(1, 0), kind=PacketKind.ROW_TRANSFER)
+        assert noc.max_queue_depth == 0
+        noc.send(pkt, 0)
+        noc.send(pkt, 0)  # blocked behind the first packet's tail
+        link = noc.link_stats[((0, 0), (1, 0))]
+        assert link.packets == 2
+        assert link.max_wait > 0
+        assert noc.max_queue_depth == link.max_wait
+
+    def test_busiest_link(self):
+        noc = MeshNoC()
+        assert noc.busiest_link() is None
+        hot = Packet(src=(0, 0), dst=(1, 0), kind=PacketKind.REMOTE_STORE)
+        cold = Packet(src=(3, 3), dst=(4, 3), kind=PacketKind.REMOTE_STORE)
+        noc.send(hot, 0)
+        noc.send(hot, 50)
+        noc.send(cold, 0)
+        link, stats = noc.busiest_link()
+        assert link == ((0, 0), (1, 0))
+        assert stats.packets == 2
+
+    def test_busiest_link_tie_breaks_by_coordinate(self):
+        noc = MeshNoC()
+        a = Packet(src=(2, 2), dst=(3, 2), kind=PacketKind.REMOTE_STORE)
+        b = Packet(src=(0, 0), dst=(1, 0), kind=PacketKind.REMOTE_STORE)
+        noc.send(a, 0)
+        noc.send(b, 0)
+        link, _ = noc.busiest_link()
+        assert link == ((0, 0), (1, 0))
+
+    def test_reset_contention_clears_link_stats(self):
+        noc = MeshNoC()
+        noc.send(Packet(src=(0, 0), dst=(1, 0), kind=PacketKind.REMOTE_STORE), 0)
+        noc.reset_contention()
+        assert noc.link_stats == {}
+        assert noc.max_queue_depth == 0
+        assert noc.busiest_link() is None

@@ -1,0 +1,142 @@
+"""The hierarchical metrics registry: metric kinds, snapshot/diff/merge."""
+
+import json
+
+import pytest
+
+from repro.errors import TelemetryError
+from repro.telemetry import MetricsRegistry
+
+
+class TestMetricKinds:
+    def test_counter_accumulates(self):
+        reg = MetricsRegistry()
+        reg.counter("core/0/pipeline/raw_stalls").add(3)
+        reg.counter("core/0/pipeline/raw_stalls").add(2)
+        assert reg.counters["core/0/pipeline/raw_stalls"].value == 5
+
+    def test_counter_rejects_negative(self):
+        with pytest.raises(TelemetryError):
+            MetricsRegistry().counter("x").add(-1)
+
+    def test_gauge_set_and_high_water(self):
+        reg = MetricsRegistry()
+        g = reg.gauge("noc/max_queue_depth")
+        g.set(4)
+        g.max(2)
+        assert g.value == 4
+        g.max(9)
+        assert g.value == 9
+
+    def test_histogram_buckets_and_moments(self):
+        reg = MetricsRegistry()
+        h = reg.histogram("dram/latency", bounds=[10, 100])
+        for v in (5, 50, 500):
+            h.observe(v)
+        assert h.bucket_counts == [1, 1, 1]
+        assert (h.count, h.total, h.min, h.max) == (3, 555.0, 5, 500)
+        assert h.mean == 185.0
+
+    def test_timer_records_durations(self):
+        reg = MetricsRegistry()
+        t = reg.timer("core/0/kernel")
+        t.record(100)
+        t.record(50)
+        assert (t.count, t.total, t.min, t.max) == (2, 150.0, 50, 100)
+        assert t.mean == 75.0
+
+    def test_timer_rejects_negative_duration(self):
+        with pytest.raises(TelemetryError):
+            MetricsRegistry().timer("t").record(-1)
+
+    def test_same_path_returns_same_metric(self):
+        reg = MetricsRegistry()
+        assert reg.counter("a/b") is reg.counter("a/b")
+
+    @pytest.mark.parametrize("bad", ["", "/lead", "trail/", "a//b"])
+    def test_malformed_paths_rejected(self, bad):
+        with pytest.raises(TelemetryError):
+            MetricsRegistry().counter(bad)
+
+
+class TestSnapshotDiff:
+    def test_snapshot_is_flat_path_to_value(self):
+        reg = MetricsRegistry()
+        reg.counter("core/0/cycles").add(10)
+        reg.gauge("core/0/ipc").set(0.5)
+        assert reg.snapshot() == {"core/0/cycles": 10, "core/0/ipc": 0.5}
+
+    def test_diff_reports_only_changes(self):
+        reg = MetricsRegistry()
+        reg.counter("a").add(1)
+        reg.counter("b").add(1)
+        before = reg.snapshot()
+        reg.counter("a").add(4)
+        reg.counter("c").add(2)
+        assert MetricsRegistry.diff(before, reg.snapshot()) == {"a": 4, "c": 2}
+
+
+class TestMerge:
+    def test_counters_add_gauges_keep_max(self):
+        a, b = MetricsRegistry(), MetricsRegistry()
+        a.counter("packets").add(3)
+        b.counter("packets").add(4)
+        a.gauge("depth").set(2)
+        b.gauge("depth").set(7)
+        a.merge(b)
+        assert a.counters["packets"].value == 7
+        assert a.gauges["depth"].value == 7
+
+    def test_histograms_and_timers_fold(self):
+        a, b = MetricsRegistry(), MetricsRegistry()
+        a.histogram("lat", bounds=[10]).observe(5)
+        b.histogram("lat", bounds=[10]).observe(50)
+        a.timer("t").record(1)
+        b.timer("t").record(9)
+        a.merge(b)
+        h = a.histograms["lat"]
+        assert h.bucket_counts == [1, 1]
+        assert (h.min, h.max) == (5, 50)
+        t = a.timers["t"]
+        assert (t.count, t.min, t.max) == (2, 1, 9)
+
+    def test_mismatched_histogram_bounds_rejected(self):
+        a, b = MetricsRegistry(), MetricsRegistry()
+        a.histogram("h", bounds=[1])
+        b.histogram("h", bounds=[2])
+        with pytest.raises(TelemetryError):
+            a.merge(b)
+
+    def test_merged_of_per_core_registries(self):
+        cores = []
+        for i in range(3):
+            r = MetricsRegistry()
+            r.counter("chip/instructions").add(10 * (i + 1))
+            cores.append(r)
+        total = MetricsRegistry.merged(cores)
+        assert total.counters["chip/instructions"].value == 60
+
+
+class TestExport:
+    def test_as_tree_nests_by_segment(self):
+        reg = MetricsRegistry()
+        reg.counter("core/0/cycles").add(5)
+        reg.counter("core/1/cycles").add(7)
+        tree = reg.as_tree()
+        assert tree["core"]["0"]["cycles"] == 5
+        assert tree["core"]["1"]["cycles"] == 7
+
+    def test_json_export_is_deterministic_and_loadable(self):
+        def build():
+            reg = MetricsRegistry()
+            reg.counter("b").add(2)
+            reg.counter("a").add(1)
+            reg.histogram("h").observe(3)
+            reg.timer("t").record(4)
+            return reg
+
+        j1, j2 = build().to_json(), build().to_json()
+        assert j1 == j2
+        loaded = json.loads(j1)
+        assert set(loaded) == {"counters", "gauges", "histograms", "timers"}
+        assert loaded["counters"] == {"a": 1, "b": 2}

@@ -75,3 +75,58 @@ class TestEventQueue:
 
     def test_step_on_empty_queue(self):
         assert EventQueue().step() is None
+
+
+class TestRunUntilMaxEventsInteraction:
+    """Edge cases of ``run(until=...)`` combined with ``run(max_events=...)``."""
+
+    def test_until_clamps_now_when_heap_drains(self):
+        q = EventQueue()
+        q.schedule(2, lambda: None)
+        assert q.run(until=9) == 9
+        assert q.now == 9
+        assert len(q) == 0
+
+    def test_until_on_empty_queue_advances_now(self):
+        q = EventQueue()
+        assert q.run(until=5) == 5
+        assert q.now == 5
+
+    def test_max_events_stop_leaves_heap_and_does_not_clamp(self):
+        # Stopping on the event budget means pending events at t < until
+        # have not happened yet, so `now` must stay at the last dispatched
+        # event rather than jump to `until`.
+        q = EventQueue()
+        for t in (1, 2, 3, 4):
+            q.schedule(t, lambda: None)
+        q.run(until=100, max_events=2)
+        assert q.processed == 2
+        assert q.now == 2
+        assert len(q) == 2
+
+    def test_resume_after_max_events_stop(self):
+        q = EventQueue()
+        for t in (1, 2, 3):
+            q.schedule(t, lambda: None)
+        q.run(max_events=1)
+        assert q.now == 1
+        q.run(until=10)
+        assert q.processed == 3
+        assert q.now == 10
+
+    def test_until_before_first_event_runs_nothing(self):
+        q = EventQueue()
+        seen = []
+        q.schedule(8, lambda: seen.append(8))
+        q.run(until=3)
+        assert seen == []
+        assert q.now == 3
+        assert len(q) == 1
+
+    def test_until_in_past_does_not_rewind_now(self):
+        q = EventQueue()
+        q.schedule(7, lambda: None)
+        q.run()
+        assert q.now == 7
+        q.run(until=2)
+        assert q.now == 7
