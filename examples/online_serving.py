@@ -1,0 +1,93 @@
+#!/usr/bin/env python3
+"""Online multi-tenant serving: elastic partitions vs the baselines.
+
+Three sensor tenants send Poisson request streams at rates deliberately
+mismatched with their models' MAC weights: the camera model is heavy but
+slow-rate, the radar model tiny but hot.  A static MAC-proportional
+split over-provisions the camera; time-sharing makes everyone queue
+behind it.  The elastic policy watches per-tenant arrivals and queue
+depth and re-partitions the array online — paying a weight re-staging
+stall in simulated time for every move — which is exactly the regime
+where it wins on tail latency.
+
+Run:  python examples/online_serving.py
+"""
+
+import os
+import sys
+
+sys.path.insert(0, os.path.join(os.path.dirname(__file__), "..", "src"))
+
+from repro.core.multi_dnn import MultiDNNScheduler
+from repro.nn.workloads import ConvLayerSpec, NetworkSpec, small_cnn_spec
+from repro.serving import (
+    ElasticPolicy,
+    PoissonArrivals,
+    ServiceModel,
+    ServingSimulator,
+    StaticPartitionPolicy,
+    TenantSpec,
+    TimeSharedPolicy,
+)
+
+
+def conv_net(name: str, m: int, h: int) -> NetworkSpec:
+    layers = tuple(
+        ConvLayerSpec(i + 1, f"{name}{i}", h=h, w=h, c=64, m=m)
+        for i in range(2)
+    )
+    return NetworkSpec(name=name, layers=layers)
+
+
+def tenants():
+    return [
+        TenantSpec("camera", conv_net("camera", m=64, h=28),
+                   PoissonArrivals(400, seed=1), deadline_ms=6.0),
+        TenantSpec("lidar", conv_net("lidar", m=32, h=14),
+                   PoissonArrivals(1500, seed=2), deadline_ms=3.0),
+        TenantSpec("radar", small_cnn_spec(),
+                   PoissonArrivals(2500, seed=3), deadline_ms=2.0),
+    ]
+
+
+def main() -> None:
+    scheduler = MultiDNNScheduler()
+    duration_ms = 120.0
+    policies = [
+        StaticPartitionPolicy(scheduler),
+        TimeSharedPolicy(scheduler),
+        ElasticPolicy(ServiceModel(scheduler), control_interval_ms=10.0),
+    ]
+
+    print(f"serving 3 Poisson tenants for {duration_ms:g} ms of sim time\n")
+    results = {}
+    for policy in policies:
+        result = ServingSimulator(policy).run(tenants(), duration_ms)
+        results[policy.name] = result
+        print(f"policy: {policy.name}")
+        for name, report in sorted(result.reports.items()):
+            print(f"  {name:8s} p50 {report.p50_ms:6.3f}  "
+                  f"p95 {report.p95_ms:6.3f}  p99 {report.p99_ms:6.3f} ms   "
+                  f"miss {100 * report.deadline_miss_rate:4.1f}%  "
+                  f"goodput {report.goodput_rps(duration_ms):7.1f}/s")
+        print(f"  worst p99 {result.worst_p99_ms:.3f} ms, "
+              f"utilization {result.utilization():.2f}, "
+              f"shed {result.total_shed}\n")
+
+    elastic = results["elastic"]
+    print(f"elastic applied {len(elastic.resizes)} resize(s):")
+    for event in elastic.resizes:
+        shares = "  ".join(f"{k}:{v}" for k, v in sorted(event.shares.items()))
+        print(f"  t={event.time_ms:6.1f} ms  {shares}   "
+              f"(restage stall up to "
+              f"{max(event.stall_ms.values()):.3f} ms)")
+
+    speedup = (results["time-shared"].worst_p99_ms
+               / elastic.worst_p99_ms)
+    print(f"\nworst-tenant p99: elastic {elastic.worst_p99_ms:.3f} ms vs "
+          f"time-shared {results['time-shared'].worst_p99_ms:.3f} ms "
+          f"({speedup:.1f}x better)")
+
+
+if __name__ == "__main__":
+    main()

@@ -39,7 +39,7 @@ from repro.cmem.cmem import CMem
 from repro.core.functional import FunctionalNodeGroup, bit_true_min_nodes
 from repro.core.node import MAICCNode
 from repro.mapping.capacity import CapacityModel
-from repro.nn.workloads import ConvLayerSpec
+from repro.nn.workloads import ConvLayerSpec, NetworkSpec
 
 
 def _time_per_call(fn, *, min_reps: int = 5, budget_s: float = 1.0) -> float:
@@ -144,6 +144,62 @@ def bench_resnet18_segment() -> dict:
     }
 
 
+def bench_serving() -> dict:
+    """Throughput of the serving event loop itself (host wall-clock).
+
+    Uses :class:`FixedServicePolicy` so zero time goes to the chip model —
+    what's measured is the discrete-event loop: arrival generation,
+    admission, dispatch, completion accounting.  The ambient telemetry
+    sink must be the disabled :class:`NullSink` so the hot path pays only
+    its one ``enabled`` read.
+    """
+    from repro import telemetry as tele
+    from repro.serving import (
+        FixedServicePolicy,
+        PoissonArrivals,
+        ServingSimulator,
+        TenantSpec,
+    )
+
+    assert not tele.current().enabled, (
+        "bench_serving must run against the disabled NullSink"
+    )
+
+    spec = ConvLayerSpec(index=0, name="stub", h=1, w=1, c=1, m=1)
+    net = NetworkSpec(name="stub", layers=(spec,))
+
+    def tenants():
+        return [
+            TenantSpec("a", net, PoissonArrivals(900, seed=21), deadline_ms=4.0),
+            TenantSpec("b", net, PoissonArrivals(600, seed=22), deadline_ms=6.0,
+                       queue_capacity=64),
+            TenantSpec("c", net, PoissonArrivals(300, seed=23), deadline_ms=9.0),
+        ]
+
+    policy = FixedServicePolicy({"a": 0.8, "b": 1.1, "c": 2.3})
+    duration_ms = 2000.0
+
+    result = ServingSimulator(policy).run(tenants(), duration_ms)
+    requests = result.total_arrivals
+
+    def run():
+        ServingSimulator(policy).run(tenants(), duration_ms)
+
+    t = _time_per_call(run)
+    return {
+        "workload": (
+            f"3-tenant Poisson serving loop, {duration_ms:g} ms sim window, "
+            f"{requests} requests (FixedServicePolicy, NullSink)"
+        ),
+        "requests": requests,
+        "wall_s_per_run": t,
+        "requests_per_sec": requests / t,
+        "sim_ms_per_wall_s": duration_ms / t,
+        "completed": result.total_completed,
+        "shed": result.total_shed,
+    }
+
+
 def bench_telemetry() -> dict:
     """Telemetry snapshot: workload cycle counts + top-level counters.
 
@@ -216,6 +272,12 @@ def main() -> None:
             os.path.dirname(__file__), "..", "BENCH_telemetry.json"
         ),
     )
+    parser.add_argument(
+        "--serving-out",
+        default=os.path.join(
+            os.path.dirname(__file__), "..", "BENCH_serving.json"
+        ),
+    )
     args = parser.parse_args()
 
     results = {
@@ -237,6 +299,15 @@ def main() -> None:
     }
     with open(args.telemetry_out, "w") as f:
         json.dump(telemetry_snapshot, f, indent=2, sort_keys=True)
+        f.write("\n")
+
+    serving = {
+        "python": platform.python_version(),
+        "machine": platform.machine(),
+        "serving_loop": bench_serving(),
+    }
+    with open(args.serving_out, "w") as f:
+        json.dump(serving, f, indent=2, sort_keys=True)
         f.write("\n")
 
     mac = results["mac"]
@@ -261,8 +332,14 @@ def main() -> None:
         f"segment {tel['resnet18_segment']['macs']} MACs "
         f"({telemetry_snapshot['trace_events']} trace events)"
     )
+    loop = serving["serving_loop"]
+    print(
+        f"serving loop: {loop['requests_per_sec']:.0f} requests/s "
+        f"({loop['sim_ms_per_wall_s']:.0f} sim-ms per wall-second)"
+    )
     print(f"wrote {os.path.abspath(args.out)}")
     print(f"wrote {os.path.abspath(args.telemetry_out)}")
+    print(f"wrote {os.path.abspath(args.serving_out)}")
 
 
 if __name__ == "__main__":

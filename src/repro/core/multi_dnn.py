@@ -13,7 +13,8 @@ from dataclasses import dataclass, field
 from typing import List, Optional, Sequence
 
 from repro.core.simulator import ChipSimulator, NetworkRunResult
-from repro.errors import MappingError
+from repro.errors import MappingError, SimulationError
+from repro.mapping.allocation import proportional_shares
 from repro.mapping.placement import NodePlacement, zigzag_placement
 from repro.nn.workloads import NetworkSpec
 
@@ -53,19 +54,29 @@ class MultiDNNResult:
     runs: List[ModelRun]
     time_shared_latency_ms: float
 
+    def _require_runs(self) -> None:
+        if not self.runs:
+            raise SimulationError(
+                "MultiDNNResult has no model runs; aggregate latency and "
+                "throughput are undefined for an empty schedule"
+            )
+
     @property
     def parallel_latency_ms(self) -> float:
         """All models run concurrently: makespan = slowest model."""
+        self._require_runs()
         return max(run.latency_ms for run in self.runs)
 
     @property
     def aggregate_throughput(self) -> float:
         """Samples/s summed over concurrently running models."""
+        self._require_runs()
         return sum(run.throughput for run in self.runs)
 
     @property
     def time_shared_throughput(self) -> float:
         """Round-robin on the whole array: one sample per model per round."""
+        self._require_runs()
         return len(self.runs) / (self.time_shared_latency_ms / 1000.0)
 
     @property
@@ -86,38 +97,56 @@ class MultiDNNScheduler:
         self.simulator = simulator or ChipSimulator(array_size=array_size)
         self.capacity = self.simulator.capacity
 
+    def minimum_cores(self, network: NetworkSpec) -> int:
+        """Smallest partition that still fits the model's largest layer."""
+        return max(
+            self.capacity.min_nodes(spec, max_nodes=self.array_size - 1) + 1
+            for spec in network
+        )
+
     def partition(self, networks: Sequence[NetworkSpec]) -> List[int]:
         """Split the array proportionally to each model's MAC demand.
 
         Every model is guaranteed at least the cores its largest layer
         needs at the capacity minimum; remaining cores are distributed by
-        computational weight.
+        computational weight (:func:`proportional_shares` — the same
+        allocator the elastic serving policy resizes through).
         """
         if not networks:
             raise MappingError("no networks to schedule")
-        minimums = []
-        for net in networks:
-            largest = max(
-                self.capacity.min_nodes(spec, max_nodes=self.array_size - 1) + 1
-                for spec in net
-            )
-            minimums.append(largest)
+        minimums = [self.minimum_cores(net) for net in networks]
         if sum(minimums) > self.array_size:
             raise MappingError(
                 f"models need at least {sum(minimums)} cores together but the "
                 f"array has {self.array_size}"
             )
-        spare = self.array_size - sum(minimums)
-        total_macs = sum(net.total_macs for net in networks)
-        shares = [
-            minimum + int(spare * net.total_macs / total_macs)
-            for minimum, net in zip(minimums, networks)
-        ]
-        # Round-off remainder goes to the heaviest model.
-        shares[max(range(len(shares)), key=lambda i: networks[i].total_macs)] += (
-            self.array_size - sum(shares)
+        return proportional_shares(
+            minimums,
+            [net.total_macs for net in networks],
+            self.array_size,
         )
-        return shares
+
+    def simulate_partition(
+        self,
+        network: NetworkSpec,
+        cores: int,
+        strategy: str = "heuristic",
+    ) -> NetworkRunResult:
+        """Run one model inside a ``cores``-sized slice of the array.
+
+        The shared entry point for both the static schedule below and the
+        elastic partition manager of :mod:`repro.serving`: both derive a
+        partition's service time from exactly this simulation, so a
+        static partition and an elastic partition of the same size agree
+        bit-for-bit.
+        """
+        sim = ChipSimulator(
+            chip=self.simulator.chip,
+            params=self.simulator.params,
+            capacity=self.capacity,
+            array_size=cores,
+        )
+        return sim.run(network, strategy)
 
     def run(
         self,
@@ -130,13 +159,7 @@ class MultiDNNScheduler:
         runs: List[ModelRun] = []
         offset = 0
         for net, share in zip(networks, shares):
-            sim = ChipSimulator(
-                chip=self.simulator.chip,
-                params=self.simulator.params,
-                capacity=self.capacity,
-                array_size=share,
-            )
-            result = sim.run(net, strategy)
+            result = self.simulate_partition(net, share, strategy)
             # Each model owns a contiguous interval of the global snake
             # walk; its segments (which run sequentially in time) reuse
             # that interval, so models never share a tile.

@@ -11,6 +11,23 @@ arrivals are replayed on the discrete-event kernel against either
   by the whole chip, reloading weights between models,
 
 reporting per-stream queueing + service latency and deadline behaviour.
+
+Since the :mod:`repro.serving` subsystem landed, this module is a thin
+periodic-arrival front-end over the shared
+:class:`~repro.serving.policies.ServingPolicy` interface:
+
+* ``policy="spatial"`` runs
+  :class:`~repro.serving.policies.StaticPartitionPolicy` — partitions
+  and per-partition service times from the same offline
+  :class:`~repro.core.multi_dnn.MultiDNNScheduler` run as before;
+* ``policy="time-shared"`` runs
+  :class:`~repro.serving.policies.TimeSharedPolicy`.
+
+Both paths produce *bit-identical* latencies to the pre-serving
+implementation (pinned by differential tests in
+``tests/core/test_sensor_stream.py``); the serving layer adds bounded
+queues, Poisson/trace arrivals, EDF, and elastic partitions on top — see
+``docs/SERVING.md``.
 """
 
 from __future__ import annotations
@@ -21,7 +38,6 @@ from typing import Dict, List, Optional, Sequence
 from repro.core.multi_dnn import MultiDNNScheduler
 from repro.errors import SimulationError
 from repro.nn.workloads import NetworkSpec
-from repro.utils.events import EventQueue
 
 
 @dataclass(frozen=True)
@@ -81,26 +97,6 @@ class SensorStreamSimulator:
     def __init__(self, scheduler: Optional[MultiDNNScheduler] = None) -> None:
         self.scheduler = scheduler or MultiDNNScheduler()
 
-    # -- service-time derivation -------------------------------------------------
-
-    def _partition_service_ms(self, streams: Sequence[StreamSpec]) -> Dict[str, float]:
-        networks = [s.network for s in streams]
-        run = self.scheduler.run(networks)
-        return {
-            stream.label: model_run.latency_ms
-            for stream, model_run in zip(streams, run.runs)
-        }
-
-    def _shared_service_ms(self, streams: Sequence[StreamSpec]) -> Dict[str, float]:
-        return {
-            stream.label: self.scheduler.simulator.run(
-                stream.network, "heuristic"
-            ).latency_ms
-            for stream in streams
-        }
-
-    # -- event-driven serving -----------------------------------------------------
-
     def run(
         self,
         streams: Sequence[StreamSpec],
@@ -116,34 +112,36 @@ class SensorStreamSimulator:
         reload between frames of different models, which the whole-array
         latency already includes via its filter-load phase).
         """
+        from repro.serving.arrivals import PeriodicArrivals
+        from repro.serving.policies import StaticPartitionPolicy, TimeSharedPolicy
+        from repro.serving.simulator import ServingSimulator
+        from repro.serving.tenancy import TenantSpec
+
         if policy == "spatial":
-            service = self._partition_service_ms(streams)
-            servers = {stream.label: stream.label for stream in streams}
+            serving_policy = StaticPartitionPolicy(self.scheduler)
         elif policy == "time-shared":
-            service = self._shared_service_ms(streams)
-            servers = {stream.label: "chip" for stream in streams}
+            serving_policy = TimeSharedPolicy(self.scheduler)
         else:
             raise SimulationError(f"unknown serving policy {policy!r}")
 
-        queue = EventQueue()
-        server_free: Dict[str, float] = {}
-        reports = {s.label: StreamReport(label=s.label) for s in streams}
-
-        def arrive(stream: StreamSpec, t: float) -> None:
-            report = reports[stream.label]
-            report.frames += 1
-            server = servers[stream.label]
-            start = max(t, server_free.get(server, 0.0))
-            done = start + service[stream.label]
-            server_free[server] = done
-            if done <= duration_ms:
-                report.completed += 1
-                report.latencies_ms.append(done - t)
-            next_t = t + stream.period_ms
-            if next_t < duration_ms:
-                queue.schedule(next_t, lambda: arrive(stream, next_t))
-
-        for stream in streams:
-            queue.schedule(0.0, lambda s=stream: arrive(s, 0.0))
-        queue.run()
+        tenants = [
+            TenantSpec(
+                name=stream.label,
+                network=stream.network,
+                arrivals=PeriodicArrivals(stream.period_ms),
+            )
+            for stream in streams
+        ]
+        result = ServingSimulator(serving_policy, discipline="fifo").run(
+            tenants, duration_ms
+        )
+        reports = {
+            name: StreamReport(
+                label=name,
+                frames=report.arrivals,
+                completed=report.completed,
+                latencies_ms=list(report.latencies_ms),
+            )
+            for name, report in result.reports.items()
+        }
         return ServingResult(reports=reports)

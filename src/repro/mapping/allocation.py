@@ -17,7 +17,7 @@ the objective is the max.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Callable, Dict, Sequence
+from typing import Callable, Dict, List, Sequence
 
 from repro.errors import MappingError
 from repro.mapping.capacity import CapacityModel
@@ -25,6 +25,50 @@ from repro.nn.workloads import ConvLayerSpec
 
 # (layer, computing cores) -> expected per-layer time in cycles.
 TimingFn = Callable[[ConvLayerSpec, int], float]
+
+
+def proportional_shares(
+    minimums: Sequence[int],
+    weights: Sequence[float],
+    total: int,
+) -> List[int]:
+    """Split ``total`` cores: minimums first, spare by weight.
+
+    Every party receives its minimum; the spare is distributed
+    proportionally to ``weights`` (floor), and the round-off remainder
+    goes to the heaviest party.  This is the array-level analogue of the
+    per-segment solver above; both :class:`repro.core.multi_dnn` (static
+    partitioning) and the elastic partition manager of
+    :mod:`repro.serving` resize through it, so a static run and an
+    elastic run that observes proportional demand derive identical
+    shares.
+    """
+    if not minimums or len(minimums) != len(weights):
+        raise MappingError(
+            f"need matching non-empty minimums/weights, got "
+            f"{len(minimums)}/{len(weights)}"
+        )
+    if any(w < 0 for w in weights):
+        raise MappingError(f"weights must be >= 0: {list(weights)}")
+    if sum(minimums) > total:
+        raise MappingError(
+            f"parties need at least {sum(minimums)} cores together but only "
+            f"{total} are available"
+        )
+    spare = total - sum(minimums)
+    weight_sum = sum(weights)
+    if weight_sum <= 0:
+        # No demand signal: leave everyone at the minimum, remainder to
+        # the first party for a deterministic full cover.
+        shares = list(minimums)
+        shares[0] += spare
+        return shares
+    shares = [
+        minimum + int(spare * weight / weight_sum)
+        for minimum, weight in zip(minimums, weights)
+    ]
+    shares[max(range(len(shares)), key=lambda i: weights[i])] += total - sum(shares)
+    return shares
 
 
 @dataclass

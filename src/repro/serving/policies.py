@@ -1,0 +1,277 @@
+"""Serving policies: who owns which cores, and what service costs.
+
+Every policy answers the same three questions behind one interface —
+which *server* (partition or shared chip) a tenant's requests run on,
+how long one inference takes there, and whether the partition layout
+should change in response to observed load:
+
+* :class:`StaticPartitionPolicy` — MAICC's MIMD mode with the offline
+  partitioner: each tenant owns a fixed slice of the array sized by
+  :meth:`repro.core.multi_dnn.MultiDNNScheduler.partition`.  This is the
+  policy :class:`repro.core.sensor_stream.SensorStreamSimulator` runs,
+  bit-identical to the pre-serving implementation.
+* :class:`TimeSharedPolicy` — the whole array serves everyone from one
+  queue, reloading weights between models (the whole-array latency
+  includes the filter-load phase).
+* :class:`ElasticPolicy` — starts from the static partition and resizes
+  it online: every control interval it re-derives shares from observed
+  demand through :func:`repro.mapping.allocation.proportional_shares`,
+  with hysteresis so shares don't thrash, and charges each resized
+  tenant a weight re-staging stall in sim-time.
+* :class:`FixedServicePolicy` — scripted service times for unit tests
+  and for benchmarking the serving loop itself without the chip model.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Dict, List, Mapping, Optional, Sequence
+
+from repro.core.multi_dnn import MultiDNNScheduler
+from repro.errors import SimulationError
+from repro.mapping.allocation import proportional_shares
+from repro.serving.service import ServiceModel
+from repro.serving.tenancy import TenantSpec
+
+#: Server id of the single time-shared array.
+SHARED_SERVER = "chip"
+
+
+@dataclass
+class TenantObservation:
+    """What the simulator saw of one tenant over the last control window."""
+
+    arrivals: int = 0      # requests that arrived in the window
+    queue_depth: int = 0   # requests waiting right now
+    busy: bool = False     # a request of this tenant is in service
+
+
+@dataclass
+class ResizeAction:
+    """One elastic re-partitioning, applied by the simulator."""
+
+    shares: Dict[str, int]
+    region_starts: Dict[str, int]
+    stall_ms: Dict[str, float] = field(default_factory=dict)
+    placements_recomputed: int = 0
+
+
+class ServingPolicy:
+    """Interface between the serving simulator and a partitioning scheme."""
+
+    name: str = "abstract"
+    #: Elastic policies set this; the simulator then calls
+    #: :meth:`on_interval` every ``control_interval_ms`` of sim time.
+    control_interval_ms: Optional[float] = None
+
+    def __init__(self) -> None:
+        self._servers: Dict[str, str] = {}
+        self._service_ms: Dict[str, float] = {}
+        self._shares: Dict[str, int] = {}
+
+    def prepare(self, tenants: Sequence[TenantSpec]) -> None:
+        """Derive servers, service times, and initial shares."""
+        raise NotImplementedError
+
+    def server_of(self, tenant: str) -> str:
+        return self._servers[tenant]
+
+    def service_ms(self, tenant: str) -> float:
+        return self._service_ms[tenant]
+
+    def shares(self) -> Dict[str, int]:
+        """Current cores per tenant (empty when the array is not split)."""
+        return dict(self._shares)
+
+    def on_interval(
+        self, now_ms: float, observations: Mapping[str, TenantObservation]
+    ) -> Optional[ResizeAction]:
+        """React to a control tick; return a resize or ``None``."""
+        return None
+
+
+class StaticPartitionPolicy(ServingPolicy):
+    """Fixed spatial partitions from the offline multi-DNN scheduler."""
+
+    name = "static"
+
+    def __init__(self, scheduler: Optional[MultiDNNScheduler] = None) -> None:
+        super().__init__()
+        self.scheduler = scheduler or MultiDNNScheduler()
+
+    def prepare(self, tenants: Sequence[TenantSpec]) -> None:
+        run = self.scheduler.run([t.network for t in tenants])
+        for tenant, model_run in zip(tenants, run.runs):
+            self._servers[tenant.name] = tenant.name
+            self._service_ms[tenant.name] = model_run.latency_ms
+            self._shares[tenant.name] = model_run.partition_cores
+
+
+class TimeSharedPolicy(ServingPolicy):
+    """One queue, the whole array, weights reloaded between models."""
+
+    name = "time-shared"
+
+    def __init__(self, scheduler: Optional[MultiDNNScheduler] = None) -> None:
+        super().__init__()
+        self.scheduler = scheduler or MultiDNNScheduler()
+
+    def prepare(self, tenants: Sequence[TenantSpec]) -> None:
+        for tenant in tenants:
+            self._servers[tenant.name] = SHARED_SERVER
+            self._service_ms[tenant.name] = self.scheduler.simulator.run(
+                tenant.network, "heuristic"
+            ).latency_ms
+
+
+class ElasticPolicy(ServingPolicy):
+    """Demand-driven online resizing of the spatial partitions.
+
+    Every control interval the policy turns the window's observations
+    into demand weights (``pending requests x model MACs``), re-derives
+    shares with the same proportional allocator the static partitioner
+    uses, and — if the proposal moves any tenant by at least
+    ``hysteresis_cores`` and ``cooldown_ms`` has passed since the last
+    resize — re-maps the resized tenants (allocation + zig-zag placement)
+    and charges each a weight re-staging stall.
+    """
+
+    name = "elastic"
+
+    def __init__(
+        self,
+        service_model: Optional[ServiceModel] = None,
+        *,
+        control_interval_ms: float = 10.0,
+        hysteresis_cores: int = 8,
+        cooldown_ms: float = 0.0,
+    ) -> None:
+        super().__init__()
+        if control_interval_ms <= 0:
+            raise SimulationError(
+                f"control interval must be positive, got {control_interval_ms}"
+            )
+        if hysteresis_cores < 1:
+            raise SimulationError(
+                f"hysteresis must be >= 1 core, got {hysteresis_cores}"
+            )
+        self.service = service_model or ServiceModel()
+        self.control_interval_ms = control_interval_ms
+        self.hysteresis_cores = hysteresis_cores
+        self.cooldown_ms = cooldown_ms
+        self.resize_count = 0
+        self._tenants: List[TenantSpec] = []
+        self._minimums: Dict[str, int] = {}
+        self._last_resize_ms = -math.inf
+
+    def prepare(self, tenants: Sequence[TenantSpec]) -> None:
+        if not tenants:
+            raise SimulationError("elastic policy needs at least one tenant")
+        self._tenants = list(tenants)
+        scheduler = self.service.scheduler
+        networks = [t.network for t in tenants]
+        shares = scheduler.partition(networks)
+        self._minimums = {
+            t.name: scheduler.minimum_cores(t.network) for t in tenants
+        }
+        for tenant, share in zip(tenants, shares):
+            self._servers[tenant.name] = tenant.name
+            self._shares[tenant.name] = share
+            self._service_ms[tenant.name] = self.service.latency_ms(
+                tenant.network, share
+            )
+
+    def region_starts(self) -> Dict[str, int]:
+        """Each tenant's offset into the global snake walk (tenant order)."""
+        starts: Dict[str, int] = {}
+        offset = 0
+        for tenant in self._tenants:
+            starts[tenant.name] = offset
+            offset += self._shares[tenant.name]
+        return starts
+
+    def on_interval(
+        self, now_ms: float, observations: Mapping[str, TenantObservation]
+    ) -> Optional[ResizeAction]:
+        if now_ms - self._last_resize_ms < self.cooldown_ms:
+            return None
+        weights = []
+        for tenant in self._tenants:
+            obs = observations.get(tenant.name, TenantObservation())
+            pending = obs.arrivals + obs.queue_depth
+            weights.append(float(pending * tenant.network.total_macs))
+        if not any(weights):
+            return None  # idle window: no demand signal, keep the layout
+        proposal = proportional_shares(
+            [self._minimums[t.name] for t in self._tenants],
+            weights,
+            self.service.array_size,
+        )
+        moved = {
+            t.name: share
+            for t, share in zip(self._tenants, proposal)
+            if share != self._shares[t.name]
+        }
+        if not moved:
+            return None
+        if max(
+            abs(share - self._shares[name]) for name, share in moved.items()
+        ) < self.hysteresis_cores:
+            return None
+
+        for tenant, share in zip(self._tenants, proposal):
+            self._shares[tenant.name] = share
+        starts = self.region_starts()
+        stall: Dict[str, float] = {}
+        placements = 0
+        for tenant in self._tenants:
+            if tenant.name not in moved:
+                continue
+            self._service_ms[tenant.name] = self.service.latency_ms(
+                tenant.network, self._shares[tenant.name]
+            )
+            stall[tenant.name] = self.service.restage_ms(tenant.network)
+            placements += len(
+                self.service.placements(
+                    tenant.network, self._shares[tenant.name], starts[tenant.name]
+                )
+            )
+        self._last_resize_ms = now_ms
+        self.resize_count += 1
+        return ResizeAction(
+            shares=dict(self._shares),
+            region_starts=starts,
+            stall_ms=stall,
+            placements_recomputed=placements,
+        )
+
+
+class FixedServicePolicy(ServingPolicy):
+    """Scripted service times; no chip model behind it.
+
+    Used by unit tests and by ``scripts/bench.py`` to measure the event
+    loop's own overhead.  ``shared_server`` puts every tenant on one
+    queue; otherwise each tenant gets a dedicated server.
+    """
+
+    name = "fixed"
+
+    def __init__(
+        self,
+        service_ms: Mapping[str, float],
+        *,
+        shared_server: Optional[str] = None,
+    ) -> None:
+        super().__init__()
+        self._fixed = dict(service_ms)
+        self._shared = shared_server
+
+    def prepare(self, tenants: Sequence[TenantSpec]) -> None:
+        for tenant in tenants:
+            if tenant.name not in self._fixed:
+                raise SimulationError(
+                    f"no fixed service time for tenant {tenant.name!r}"
+                )
+            self._servers[tenant.name] = self._shared or tenant.name
+            self._service_ms[tenant.name] = self._fixed[tenant.name]

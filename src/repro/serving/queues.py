@@ -1,0 +1,94 @@
+"""Admission control: bounded per-tenant request queues.
+
+Each tenant owns one :class:`AdmissionQueue`.  Admission is never silent:
+:meth:`AdmissionQueue.offer` either admits the request or returns the
+request that was *shed* — the incoming one under FIFO, or the
+latest-deadline request (queued or incoming) under EDF, so an urgent
+request can displace a lax one.  Shed counts are kept per queue and
+surfaced through the SLO reports and telemetry; saturation is graceful
+degradation, not an error.
+
+Ordering inside a queue is deterministic: FIFO pops by
+``(arrival, seq)``; EDF pops by ``(deadline, arrival, seq)`` where
+``seq`` is the global admission sequence number stamped by the
+simulator.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import List, Optional, Tuple
+
+from repro.errors import SimulationError
+from repro.serving.tenancy import Request
+
+#: Queue disciplines understood by :class:`AdmissionQueue`.
+DISCIPLINES = ("fifo", "edf")
+
+_Key = Tuple[float, float, int]
+
+
+def _key(discipline: str, request: Request) -> _Key:
+    if discipline == "fifo":
+        return (request.arrival_ms, request.arrival_ms, request.seq)
+    return (request.deadline_ms, request.arrival_ms, request.seq)
+
+
+class AdmissionQueue:
+    """A bounded priority queue of one tenant's waiting requests."""
+
+    def __init__(
+        self,
+        *,
+        capacity: Optional[int] = None,
+        discipline: str = "fifo",
+    ) -> None:
+        if discipline not in DISCIPLINES:
+            raise SimulationError(
+                f"unknown queue discipline {discipline!r}; choose from {DISCIPLINES}"
+            )
+        if capacity is not None and capacity < 1:
+            raise SimulationError(f"queue capacity must be >= 1, got {capacity}")
+        self.capacity = capacity
+        self.discipline = discipline
+        self.shed_count = 0
+        self._heap: List[Tuple[_Key, Request]] = []
+
+    def __len__(self) -> int:
+        return len(self._heap)
+
+    @property
+    def depth(self) -> int:
+        return len(self._heap)
+
+    def offer(self, request: Request) -> Optional[Request]:
+        """Admit ``request`` or shed one; returns the shed request (or None).
+
+        FIFO sheds the incoming request when full.  EDF sheds whichever
+        of (queued requests, incoming request) has the *latest* deadline,
+        because serving it is least likely to make any deadline.
+        """
+        if self.capacity is None or len(self._heap) < self.capacity:
+            heapq.heappush(self._heap, (_key(self.discipline, request), request))
+            return None
+        self.shed_count += 1
+        if self.discipline == "fifo":
+            return request
+        worst_i = max(range(len(self._heap)), key=lambda i: self._heap[i][0])
+        if self._heap[worst_i][0] <= _key(self.discipline, request):
+            return request
+        victim = self._heap[worst_i][1]
+        self._heap[worst_i] = (_key(self.discipline, request), request)
+        heapq.heapify(self._heap)
+        return victim
+
+    def peek(self) -> Optional[Request]:
+        return self._heap[0][1] if self._heap else None
+
+    def peek_key(self) -> Optional[_Key]:
+        return self._heap[0][0] if self._heap else None
+
+    def pop(self) -> Request:
+        if not self._heap:
+            raise SimulationError("pop from an empty admission queue")
+        return heapq.heappop(self._heap)[1]

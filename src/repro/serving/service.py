@@ -1,0 +1,73 @@
+"""Partition service model: latency and re-mapping cost vs partition size.
+
+The elastic partition manager needs two numbers the offline stack already
+knows how to compute:
+
+* ``latency_ms(network, cores)`` — the model's inference latency inside a
+  ``cores``-sized partition, obtained by re-running the full mapping
+  pipeline (:mod:`repro.mapping.allocation` via the segment planner, then
+  the streaming simulator) through
+  :meth:`repro.core.multi_dnn.MultiDNNScheduler.simulate_partition`.
+  Results are memoized per ``(network, cores)`` — resizes revisit the
+  same handful of share sizes, and :class:`NetworkSpec` is hashable.
+
+* ``restage_ms(network)`` — the sim-time cost of re-staging the model's
+  weights after its partition moved or changed size.  Weights stream
+  from DRAM at the perf model's aggregate filter-load bandwidth with no
+  compute to overlap behind (the partition is idle mid-resize), so the
+  full ``weight_bytes / filter_load_bw`` cycles are charged.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from repro.core.multi_dnn import MultiDNNScheduler
+from repro.core.simulator import NetworkRunResult
+from repro.mapping.placement import NodePlacement, zigzag_placement
+from repro.nn.workloads import NetworkSpec
+
+
+class ServiceModel:
+    """Caches per-partition-size simulations of each tenant's network."""
+
+    def __init__(self, scheduler: Optional[MultiDNNScheduler] = None) -> None:
+        self.scheduler = scheduler or MultiDNNScheduler()
+        self._runs: Dict[Tuple[NetworkSpec, int], NetworkRunResult] = {}
+
+    @property
+    def array_size(self) -> int:
+        return self.scheduler.array_size
+
+    def minimum_cores(self, network: NetworkSpec) -> int:
+        return self.scheduler.minimum_cores(network)
+
+    def partition_run(self, network: NetworkSpec, cores: int) -> NetworkRunResult:
+        """The memoized simulation of ``network`` on ``cores`` cores."""
+        key = (network, cores)
+        run = self._runs.get(key)
+        if run is None:
+            run = self._runs[key] = self.scheduler.simulate_partition(network, cores)
+        return run
+
+    def latency_ms(self, network: NetworkSpec, cores: int) -> float:
+        return self.partition_run(network, cores).latency_ms
+
+    def placements(
+        self, network: NetworkSpec, cores: int, start_offset: int
+    ) -> List[NodePlacement]:
+        """Zig-zag placements of the model's segments inside its region."""
+        run = self.partition_run(network, cores)
+        return [
+            zigzag_placement(seg_run.segment, start_offset=start_offset)
+            for seg_run in run.runs
+        ]
+
+    def restage_ms(self, network: NetworkSpec) -> float:
+        """Sim-time to re-stage the model's weights after a resize."""
+        sim = self.scheduler.simulator
+        weight_bytes = sum(
+            spec.weight_count * spec.n_bits / 8 for spec in network
+        )
+        cycles = weight_bytes / sim.params.filter_load_bw
+        return cycles * sim.chip.constants.cycle_seconds * 1e3

@@ -1,0 +1,318 @@
+"""The online serving loop: arrivals -> admission -> partitions -> SLOs.
+
+:class:`ServingSimulator` replays every tenant's arrival process on the
+discrete-event kernel (:class:`repro.utils.events.EventQueue`) against a
+:class:`~repro.serving.policies.ServingPolicy`:
+
+* an arrival is admitted into its tenant's bounded queue (or shed — the
+  shed request is counted and reported, never silently dropped);
+* each *server* (one spatial partition, or the whole time-shared chip)
+  serves the best queued request of its tenants — highest priority
+  first, then the queue discipline (FIFO arrival order or EDF
+  deadline order);
+* elastic policies get a control tick every ``control_interval_ms``;
+  an applied resize stalls the resized partitions for the weight
+  re-staging time, and requests dequeued during the stall start service
+  only when it ends — the wait is part of their reported latency, no
+  sim-time is lost between dequeue and service start;
+* completions, queue waits, and deadline outcomes land in per-tenant
+  :class:`~repro.serving.slo.TenantReport` objects, and — when a
+  telemetry sink is active — in the metrics registry and the Perfetto
+  trace (one ``serving/server/*`` track per partition, resize instants
+  on ``serving/partition``).
+
+Determinism: all randomness lives in the seeded arrival processes and
+every simultaneous event resolves by the event queue's sequence-number
+tie-break, so two runs with the same specs produce byte-identical
+reports, metrics, and traces.
+"""
+
+from __future__ import annotations
+
+import itertools
+import math
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+from repro.errors import SimulationError
+from repro.serving.policies import ResizeAction, ServingPolicy, TenantObservation
+from repro.serving.queues import DISCIPLINES, AdmissionQueue
+from repro.serving.slo import ResizeEvent, ServingRunResult, TenantReport
+from repro.serving.tenancy import Request, TenantSpec
+from repro.telemetry import TelemetrySink, current as _current_telemetry
+from repro.utils.events import EventQueue
+
+
+@dataclass
+class _ServerState:
+    """One server's occupancy, resize gate, and accumulated busy time."""
+
+    busy: bool = False
+    free_at_ms: float = 0.0       # completion time of the in-flight request
+    stall_until_ms: float = 0.0   # weight re-staging gate after a resize
+    busy_ms: float = 0.0
+    retry_scheduled: bool = False  # a post-stall dispatch is already queued
+    tenants: List[str] = field(default_factory=list)
+
+
+class ServingSimulator:
+    """Runs tenants against a serving policy on the discrete-event kernel."""
+
+    def __init__(
+        self,
+        policy: ServingPolicy,
+        *,
+        discipline: str = "fifo",
+        telemetry: Optional[TelemetrySink] = None,
+    ) -> None:
+        if discipline not in DISCIPLINES:
+            raise SimulationError(
+                f"unknown queue discipline {discipline!r}; choose from {DISCIPLINES}"
+            )
+        self.policy = policy
+        self.discipline = discipline
+        self._telemetry = telemetry if telemetry is not None else _current_telemetry()
+
+    # -- the run ---------------------------------------------------------------
+
+    def run(
+        self, tenants: Sequence[TenantSpec], duration_ms: float
+    ) -> ServingRunResult:
+        """Serve ``duration_ms`` of arrivals; drain in-flight work after."""
+        if not tenants:
+            raise SimulationError("serving run needs at least one tenant")
+        if duration_ms <= 0:
+            raise SimulationError(f"duration must be positive, got {duration_ms}")
+        names = [t.name for t in tenants]
+        if len(set(names)) != len(names):
+            raise SimulationError(f"tenant names must be unique, got {names}")
+
+        specs = {t.name: t for t in tenants}
+        for tenant in tenants:
+            tenant.arrivals.reset()
+        self.policy.prepare(tenants)
+
+        queue = EventQueue(telemetry=self._telemetry)
+        reports = {t.name: TenantReport(tenant=t.name) for t in tenants}
+        queues = {
+            t.name: AdmissionQueue(
+                capacity=t.queue_capacity, discipline=self.discipline
+            )
+            for t in tenants
+        }
+        servers: Dict[str, _ServerState] = {}
+        for tenant in tenants:
+            server = self.policy.server_of(tenant.name)
+            state = servers.setdefault(server, _ServerState())
+            state.tenants.append(tenant.name)
+        resizes: List[ResizeEvent] = []
+        window_arrivals = {t.name: 0 for t in tenants}
+        arrival_index = {t.name: 0 for t in tenants}
+        admission_seq = itertools.count()
+        sink = self._telemetry
+
+        def count(path: str) -> None:
+            if sink.enabled:
+                assert sink.registry is not None
+                sink.registry.counter(path).inc()
+
+        # -- service ----------------------------------------------------------
+
+        def pick(server: str) -> Optional[Request]:
+            best_name: Optional[str] = None
+            best_rank: Optional[tuple] = None
+            for name in servers[server].tenants:
+                key = queues[name].peek_key()
+                if key is None:
+                    continue
+                rank = (-specs[name].priority, key)
+                if best_rank is None or rank < best_rank:
+                    best_rank = rank
+                    best_name = name
+            if best_name is None:
+                return None
+            return queues[best_name].pop()
+
+        def dispatch(server: str) -> None:
+            state = servers[server]
+            if state.busy:
+                return
+            now = queue.now
+            if state.stall_until_ms > now:
+                # The partition is mid-resize: service may only start when
+                # re-staging ends.  The wait is real sim-time — the retry
+                # event carries the dequeue forward, never drops it.
+                if not state.retry_scheduled:
+                    state.retry_scheduled = True
+
+                    def resume() -> None:
+                        state.retry_scheduled = False
+                        dispatch(server)
+
+                    queue.schedule(
+                        state.stall_until_ms, resume, tag="serving/resume"
+                    )
+                return
+            request = pick(server)
+            if request is None:
+                return
+            request.start_ms = now
+            service = self.policy.service_ms(request.tenant)
+            finish = now + service
+            state.busy = True
+            state.free_at_ms = finish
+            if sink.enabled:
+                assert sink.trace is not None
+                sink.trace.complete(
+                    f"serving/server/{server}",
+                    request.tenant,
+                    ts=now,
+                    dur=service,
+                    args={"request": request.index},
+                )
+            queue.schedule(
+                finish,
+                lambda: complete(server, request, service, finish),
+                tag="serving/completion",
+            )
+
+        def complete(
+            server: str, request: Request, service: float, finish: float
+        ) -> None:
+            state = servers[server]
+            state.busy = False
+            state.busy_ms += service
+            request.finish_ms = finish
+            report = reports[request.tenant]
+            if finish <= duration_ms:
+                report.record_completion(
+                    request.latency_ms,
+                    request.queue_wait_ms,
+                    service,
+                    met_deadline=request.met_deadline,
+                )
+                count(f"serving/tenant/{request.tenant}/completed")
+                if not request.met_deadline:
+                    count(f"serving/tenant/{request.tenant}/deadline_misses")
+                if sink.enabled:
+                    assert sink.registry is not None
+                    sink.registry.histogram(
+                        f"serving/tenant/{request.tenant}/latency_ms",
+                        bounds=report.histogram.bounds,
+                    ).observe(request.latency_ms)
+            else:
+                report.overrun += 1
+            spec = specs[request.tenant]
+            if spec.arrivals.closed_loop:
+                schedule_arrival(spec, spec.arrivals.after_completion_ms(finish))
+            dispatch(server)
+
+        # -- arrivals ---------------------------------------------------------
+
+        def schedule_arrival(tenant: TenantSpec, t: Optional[float]) -> None:
+            if t is None or t >= duration_ms:
+                return
+            queue.schedule(t, lambda: arrive(tenant, t), tag="serving/arrival")
+
+        def arrive(tenant: TenantSpec, t: float) -> None:
+            report = reports[tenant.name]
+            report.arrivals += 1
+            window_arrivals[tenant.name] += 1
+            count(f"serving/tenant/{tenant.name}/arrivals")
+            request = Request(
+                tenant=tenant.name,
+                index=arrival_index[tenant.name],
+                arrival_ms=t,
+                deadline_ms=t + tenant.deadline_ms,
+                priority=tenant.priority,
+                seq=next(admission_seq),
+            )
+            arrival_index[tenant.name] += 1
+            victim = queues[tenant.name].offer(request)
+            if victim is None or victim is not request:
+                report.admitted += 1
+            if victim is not None:
+                reports[victim.tenant].shed += 1
+                count(f"serving/tenant/{victim.tenant}/shed")
+            if sink.enabled:
+                assert sink.registry is not None
+                sink.registry.gauge(
+                    f"serving/tenant/{tenant.name}/max_queue_depth"
+                ).max(queues[tenant.name].depth)
+            dispatch(self.policy.server_of(tenant.name))
+            if not tenant.arrivals.closed_loop:
+                schedule_arrival(tenant, tenant.arrivals.next_ms(t))
+
+        # -- elastic control --------------------------------------------------
+
+        def control(t: float) -> None:
+            observations = {
+                name: TenantObservation(
+                    arrivals=window_arrivals[name],
+                    queue_depth=queues[name].depth,
+                    busy=servers[self.policy.server_of(name)].busy,
+                )
+                for name in names
+            }
+            for name in names:
+                window_arrivals[name] = 0
+            action = self.policy.on_interval(t, observations)
+            if action is not None:
+                apply_resize(t, action)
+
+        def apply_resize(t: float, action: ResizeAction) -> None:
+            for name, stall in action.stall_ms.items():
+                server = self.policy.server_of(name)
+                state = servers[server]
+                # Re-staging begins once the in-flight request drains.
+                begin = state.free_at_ms if state.busy else t
+                state.stall_until_ms = max(state.stall_until_ms, max(begin, t) + stall)
+            resizes.append(
+                ResizeEvent(
+                    time_ms=t,
+                    shares=dict(action.shares),
+                    region_starts=dict(action.region_starts),
+                    stall_ms=dict(action.stall_ms),
+                    placements_recomputed=action.placements_recomputed,
+                )
+            )
+            count("serving/resizes")
+            if sink.enabled:
+                assert sink.registry is not None and sink.trace is not None
+                for name, share in action.shares.items():
+                    sink.registry.gauge(f"serving/partition/{name}/cores").set(share)
+                sink.trace.instant(
+                    "serving/partition",
+                    "resize",
+                    t,
+                    args={
+                        "shares": dict(sorted(action.shares.items())),
+                        "stall_ms": dict(sorted(action.stall_ms.items())),
+                    },
+                )
+            # Wake idle resized servers so their queues re-arm behind the
+            # stall gate instead of sleeping until the next arrival.
+            for name in action.stall_ms:
+                dispatch(self.policy.server_of(name))
+
+        for tenant in tenants:
+            schedule_arrival(tenant, tenant.arrivals.first_ms())
+        interval = self.policy.control_interval_ms
+        if interval is not None:
+            ticks = int(math.ceil(duration_ms / interval)) - 1
+            for k in range(1, ticks + 1):
+                t = k * interval
+                if t < duration_ms:
+                    queue.schedule(t, lambda t=t: control(t), tag="serving/control")
+        queue.run()
+
+        return ServingRunResult(
+            policy=self.policy.name,
+            discipline=self.discipline,
+            duration_ms=duration_ms,
+            reports=reports,
+            resizes=resizes,
+            servers={n: self.policy.server_of(n) for n in names},
+            server_busy_ms={s: st.busy_ms for s, st in sorted(servers.items())},
+            final_shares=self.policy.shares(),
+        )

@@ -101,6 +101,41 @@ class Histogram:
     def mean(self) -> float:
         return self.total / self.count if self.count else 0.0
 
+    def percentile(self, q: float) -> float:
+        """Bucket-interpolated percentile estimate (``q`` in [0, 100]).
+
+        Walks the cumulative bucket counts to the bucket containing the
+        ``q``-th percentile rank and interpolates linearly inside it —
+        the standard Prometheus-style estimator.  The first bucket's
+        lower edge and the overflow bucket's upper edge come from the
+        recorded ``min``/``max`` moments, so an estimate never leaves
+        the observed value range.  Returns 0.0 on an empty histogram.
+        """
+        if not 0.0 <= q <= 100.0:
+            raise TelemetryError(f"percentile must be in [0, 100], got {q}")
+        if self.count == 0:
+            return 0.0
+        assert self.min is not None and self.max is not None
+        rank = q / 100.0 * self.count
+        cumulative = 0
+        for i, n in enumerate(self.bucket_counts):
+            if n == 0:
+                continue
+            below = cumulative
+            cumulative += n
+            if cumulative >= rank:
+                # Bucket i spans (bounds[i-1], bounds[i]]; the edge
+                # buckets are clipped to the observed min/max.
+                lo = self.bounds[i - 1] if i > 0 else float(self.min)
+                hi = self.bounds[i] if i < len(self.bounds) else float(self.max)
+                lo = max(lo, float(self.min))
+                hi = min(hi, float(self.max))
+                if hi <= lo:
+                    return float(lo)
+                fraction = (rank - below) / n
+                return float(lo + (hi - lo) * fraction)
+        return float(self.max)
+
 
 @dataclass
 class Timer:

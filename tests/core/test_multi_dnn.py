@@ -2,8 +2,8 @@
 
 import pytest
 
-from repro.core.multi_dnn import MultiDNNScheduler
-from repro.errors import MappingError
+from repro.core.multi_dnn import MultiDNNResult, MultiDNNScheduler
+from repro.errors import MappingError, SimulationError
 from repro.nn.workloads import ConvLayerSpec, NetworkSpec, small_cnn_spec
 
 
@@ -65,6 +65,29 @@ class TestConcurrentExecution:
         for run in result.runs:
             for seg_run in run.result.runs:
                 assert seg_run.segment.total_nodes <= run.partition_cores
+
+
+class TestEmptyResult:
+    def test_aggregates_raise_clearly_on_empty_runs(self):
+        # Regression: these used to surface as a bare ValueError from
+        # max() on an empty sequence.
+        result = MultiDNNResult(runs=[], time_shared_latency_ms=1.0)
+        with pytest.raises(SimulationError, match="no model runs"):
+            result.parallel_latency_ms
+        with pytest.raises(SimulationError, match="no model runs"):
+            result.aggregate_throughput
+        with pytest.raises(SimulationError, match="no model runs"):
+            result.time_shared_throughput
+        with pytest.raises(SimulationError, match="no model runs"):
+            result.speedup_vs_time_shared
+
+
+class TestPartitionHelpers:
+    def test_minimum_cores_lower_bounds_every_share(self, scheduler):
+        nets = [tiny_net("a"), tiny_net("b", m=64), small_cnn_spec()]
+        shares = scheduler.partition(nets)
+        for net_, share in zip(nets, shares):
+            assert share >= scheduler.minimum_cores(net_)
 
 
 class TestSpatialIsolation:

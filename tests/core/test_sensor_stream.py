@@ -1,10 +1,18 @@
 """Arrival-driven multi-DNN serving."""
 
 import pytest
+from hypothesis import given
+from hypothesis import strategies as st
 
-from repro.core.sensor_stream import SensorStreamSimulator, StreamSpec
+from repro.core.sensor_stream import (
+    SensorStreamSimulator,
+    ServingResult,
+    StreamReport,
+    StreamSpec,
+)
 from repro.errors import SimulationError
 from repro.nn.workloads import ConvLayerSpec, NetworkSpec, small_cnn_spec
+from repro.utils.events import EventQueue
 
 
 def net(name, m=32, h=14, layers=2):
@@ -67,3 +75,112 @@ class TestServing:
         stream = StreamSpec(small_cnn_spec(), period_ms=40.0)
         assert stream.rate_hz == pytest.approx(25.0)
         assert stream.label == "small_cnn"
+
+
+def legacy_run(scheduler, streams, duration_ms, policy):
+    """The pre-serving `sensor_stream` loop, replicated verbatim.
+
+    Before the :mod:`repro.serving` subsystem, this module tracked one
+    ``server_free`` float per server and folded each arrival inline:
+    ``start = max(t, free); done = start + service``.  The queue-based
+    simulator must reproduce those floats *bit for bit* — same arithmetic,
+    same operation order — which this differential oracle pins.
+    """
+    if policy == "spatial":
+        run = scheduler.run([s.network for s in streams])
+        service = {
+            stream.label: model_run.latency_ms
+            for stream, model_run in zip(streams, run.runs)
+        }
+        servers = {stream.label: stream.label for stream in streams}
+    else:
+        service = {
+            stream.label: scheduler.simulator.run(
+                stream.network, "heuristic"
+            ).latency_ms
+            for stream in streams
+        }
+        servers = {stream.label: "chip" for stream in streams}
+
+    queue = EventQueue()
+    server_free = {}
+    reports = {s.label: StreamReport(label=s.label) for s in streams}
+
+    def arrive(stream, t):
+        report = reports[stream.label]
+        report.frames += 1
+        server = servers[stream.label]
+        start = max(t, server_free.get(server, 0.0))
+        done = start + service[stream.label]
+        server_free[server] = done
+        if done <= duration_ms:
+            report.completed += 1
+            report.latencies_ms.append(done - t)
+        next_t = t + stream.period_ms
+        if next_t < duration_ms:
+            queue.schedule(next_t, lambda: arrive(stream, next_t))
+
+    for stream in streams:
+        queue.schedule(0.0, lambda s=stream: arrive(s, 0.0))
+    queue.run()
+    return ServingResult(reports=reports)
+
+
+class TestDifferentialAgainstLegacyLoop:
+    """The serving-backed paths are bit-identical to the old inline loop."""
+
+    @pytest.mark.parametrize("policy", ["spatial", "time-shared"])
+    def test_latencies_bit_identical(self, simulator, streams, policy):
+        new = simulator.run(streams, duration_ms=100, policy=policy)
+        old = legacy_run(simulator.scheduler, streams, 100, policy)
+        assert set(new.reports) == set(old.reports)
+        for label, old_report in old.reports.items():
+            new_report = new.reports[label]
+            assert new_report.frames == old_report.frames
+            assert new_report.completed == old_report.completed
+            # Exact float equality, not approx: the refactor must not
+            # perturb a single ULP of the old arithmetic.
+            assert new_report.latencies_ms == old_report.latencies_ms
+
+    def test_awkward_periods_and_ties(self, simulator):
+        # Colliding arrival times (4.2 has no exact binary representation;
+        # 0.7 vs 1.4 collide every other frame) exercise the equal-time
+        # ordering, where bit-identity is easiest to lose.
+        streams = [
+            StreamSpec(net("x", m=32, h=14), period_ms=0.7),
+            StreamSpec(net("y", m=32, h=14, layers=1), period_ms=1.4),
+            StreamSpec(small_cnn_spec(), period_ms=4.2),
+        ]
+        for policy in ("spatial", "time-shared"):
+            new = simulator.run(streams, duration_ms=50, policy=policy)
+            old = legacy_run(simulator.scheduler, streams, 50, policy)
+            for label, old_report in old.reports.items():
+                assert new.reports[label].latencies_ms == old_report.latencies_ms
+
+
+class TestDeadlineMissProperties:
+    @given(
+        latencies=st.lists(
+            st.floats(min_value=0.0, max_value=1e4,
+                      allow_nan=False, allow_infinity=False),
+            max_size=50,
+        ),
+        deadlines=st.lists(
+            st.floats(min_value=0.0, max_value=1.2e4,
+                      allow_nan=False, allow_infinity=False),
+            min_size=2, max_size=10,
+        ),
+    )
+    def test_monotone_and_consistent_with_latency_list(self, latencies, deadlines):
+        report = StreamReport(
+            label="s", frames=len(latencies), completed=len(latencies),
+            latencies_ms=latencies,
+        )
+        for d in deadlines:
+            assert report.deadline_misses(d) == sum(
+                1 for lat in latencies if lat > d
+            )
+        # Relaxing the deadline never increases the miss count.
+        misses = [report.deadline_misses(d) for d in sorted(deadlines)]
+        assert misses == sorted(misses, reverse=True)
+        assert report.deadline_misses(float("inf")) == 0

@@ -1,0 +1,112 @@
+"""End-to-end serving runs on the chip model: the acceptance scenario."""
+
+import pytest
+
+from repro.core.multi_dnn import MultiDNNScheduler
+from repro.nn.workloads import ConvLayerSpec, NetworkSpec, small_cnn_spec
+from repro.serving.arrivals import PoissonArrivals
+from repro.serving.policies import (
+    ElasticPolicy,
+    StaticPartitionPolicy,
+    TimeSharedPolicy,
+)
+from repro.serving.service import ServiceModel
+from repro.serving.simulator import ServingSimulator
+from repro.serving.tenancy import TenantSpec
+
+
+def net(name, m=32, h=14, layers=2):
+    specs = tuple(
+        ConvLayerSpec(i + 1, f"{name}{i}", h=h, w=h, c=64, m=m)
+        for i in range(layers)
+    )
+    return NetworkSpec(name=name, layers=specs)
+
+
+@pytest.fixture(scope="module")
+def scheduler():
+    return MultiDNNScheduler()
+
+
+def mixed_rate_tenants():
+    """A heavy slow-rate model beside light hot ones — static MAC-weighted
+    shares are mismatched with the offered load, which is exactly the
+    regime where elastic repartitioning pays off."""
+    return [
+        TenantSpec("camera", net("camera", m=64, h=28),
+                   PoissonArrivals(400, seed=1), deadline_ms=6.0),
+        TenantSpec("lidar", net("lidar", m=32, h=14),
+                   PoissonArrivals(1500, seed=2), deadline_ms=3.0),
+        TenantSpec("radar", small_cnn_spec(),
+                   PoissonArrivals(2500, seed=3), deadline_ms=2.0),
+    ]
+
+
+@pytest.fixture(scope="module")
+def results(scheduler):
+    tenants = mixed_rate_tenants()
+    out = {}
+    for policy in (
+        StaticPartitionPolicy(scheduler),
+        TimeSharedPolicy(scheduler),
+        ElasticPolicy(ServiceModel(scheduler), control_interval_ms=10.0),
+    ):
+        out[policy.name] = ServingSimulator(policy).run(tenants, 120.0)
+    return out
+
+
+class TestMixedRateScenario:
+    def test_elastic_beats_time_shared_p99(self, results):
+        assert results["elastic"].worst_p99_ms < results["time-shared"].worst_p99_ms
+
+    def test_elastic_no_worse_than_static_p99(self, results):
+        assert results["elastic"].worst_p99_ms <= results["static"].worst_p99_ms
+
+    def test_elastic_actually_resizes(self, results):
+        assert len(results["elastic"].resizes) > 0
+        for event in results["elastic"].resizes:
+            assert sum(event.shares.values()) == 208
+            assert all(s > 0 for s in event.stall_ms.values())
+
+    def test_region_starts_tile_the_array(self, results):
+        for event in results["elastic"].resizes:
+            offset = 0
+            for name in ("camera", "lidar", "radar"):
+                assert event.region_starts[name] == offset
+                offset += event.shares[name]
+
+    def test_every_policy_serves_everything_at_this_load(self, results):
+        for result in results.values():
+            assert result.total_shed == 0
+            for report in result.reports.values():
+                assert report.arrivals == report.admitted
+                assert report.completed + report.overrun == report.admitted
+
+    def test_percentiles_are_ordered(self, results):
+        for result in results.values():
+            for report in result.reports.values():
+                assert report.p50_ms <= report.p95_ms <= report.p99_ms
+                assert report.p99_ms <= report.max_latency_ms + 1e-9
+
+    def test_report_export_is_consistent(self, results):
+        for result in results.values():
+            exported = result.as_dict()
+            assert exported["totals"]["completed"] == result.total_completed
+            assert exported["policy"] == result.policy
+
+
+class TestOverload:
+    def test_bounded_queues_shed_under_overload(self, scheduler):
+        tenants = [
+            TenantSpec("hot", net("hot", m=64, h=28),
+                       PoissonArrivals(4000, seed=9), deadline_ms=2.0,
+                       queue_capacity=4),
+        ]
+        result = ServingSimulator(StaticPartitionPolicy(scheduler)).run(
+            tenants, 60.0
+        )
+        report = result.reports["hot"]
+        assert report.shed > 0
+        assert report.arrivals == report.admitted + report.shed
+        # Graceful degradation: the queue bound caps reported latency.
+        assert report.max_latency_ms < 60.0

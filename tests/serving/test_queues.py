@@ -1,0 +1,82 @@
+"""Admission queues: ordering, bounds, and shedding."""
+
+import math
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.serving.queues import AdmissionQueue
+from repro.serving.tenancy import Request
+
+
+def req(seq, arrival, deadline=math.inf, tenant="t"):
+    return Request(
+        tenant=tenant, index=seq, arrival_ms=arrival,
+        deadline_ms=deadline, seq=seq,
+    )
+
+
+class TestFIFO:
+    def test_pops_in_arrival_order(self):
+        q = AdmissionQueue(discipline="fifo")
+        for r in (req(0, 5.0), req(1, 1.0), req(2, 3.0)):
+            assert q.offer(r) is None
+        assert [q.pop().seq for _ in range(3)] == [1, 2, 0]
+
+    def test_equal_arrivals_break_by_seq(self):
+        q = AdmissionQueue(discipline="fifo")
+        for r in (req(3, 2.0), req(1, 2.0), req(2, 2.0)):
+            q.offer(r)
+        assert [q.pop().seq for _ in range(3)] == [1, 2, 3]
+
+    def test_full_queue_sheds_incoming(self):
+        q = AdmissionQueue(capacity=2, discipline="fifo")
+        q.offer(req(0, 0.0))
+        q.offer(req(1, 1.0))
+        shed = q.offer(req(2, 2.0))
+        assert shed is not None and shed.seq == 2
+        assert q.shed_count == 1
+        assert len(q) == 2
+
+
+class TestEDF:
+    def test_pops_earliest_deadline(self):
+        q = AdmissionQueue(discipline="edf")
+        for r in (req(0, 0.0, deadline=9.0), req(1, 1.0, deadline=3.0),
+                  req(2, 2.0, deadline=6.0)):
+            q.offer(r)
+        assert [q.pop().seq for _ in range(3)] == [1, 2, 0]
+
+    def test_displaces_latest_deadline_when_full(self):
+        q = AdmissionQueue(capacity=2, discipline="edf")
+        q.offer(req(0, 0.0, deadline=100.0))
+        q.offer(req(1, 0.5, deadline=5.0))
+        shed = q.offer(req(2, 1.0, deadline=2.0))  # urgent displaces lax
+        assert shed is not None and shed.seq == 0
+        assert q.shed_count == 1
+        assert sorted(r.seq for _, r in q._heap) == [1, 2]
+
+    def test_sheds_incoming_when_it_is_the_laxest(self):
+        q = AdmissionQueue(capacity=1, discipline="edf")
+        q.offer(req(0, 0.0, deadline=1.0))
+        shed = q.offer(req(1, 0.5, deadline=50.0))
+        assert shed is not None and shed.seq == 1
+
+
+class TestValidation:
+    def test_unknown_discipline(self):
+        with pytest.raises(SimulationError):
+            AdmissionQueue(discipline="lifo")
+
+    def test_bad_capacity(self):
+        with pytest.raises(SimulationError):
+            AdmissionQueue(capacity=0)
+
+    def test_pop_empty(self):
+        with pytest.raises(SimulationError):
+            AdmissionQueue().pop()
+
+    def test_peek_empty(self):
+        q = AdmissionQueue()
+        assert q.peek() is None
+        assert q.peek_key() is None

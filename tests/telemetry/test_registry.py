@@ -59,6 +59,77 @@ class TestMetricKinds:
             MetricsRegistry().counter(bad)
 
 
+class TestPercentile:
+    """Bucket-interpolated percentiles pinned on known distributions."""
+
+    def uniform_0_to_99(self):
+        # Buckets are left-closed ([lo, hi)), so 0..99 fills each decade
+        # bucket with exactly ten observations.
+        h = MetricsRegistry().histogram(
+            "lat", bounds=[10, 20, 30, 40, 50, 60, 70, 80, 90, 100]
+        )
+        for v in range(100):
+            h.observe(v)
+        return h
+
+    def test_uniform_pins_p50_p95_p99(self):
+        h = self.uniform_0_to_99()
+        # p50 interpolates to the exact bucket edge.  p95/p99 land in the
+        # last occupied bucket, whose upper edge clamps to the observed
+        # max (99, not the bound 100): 90 + 9 * 0.5 and 90 + 9 * 0.9.
+        assert h.percentile(50) == pytest.approx(50.0)
+        assert h.percentile(95) == pytest.approx(94.5)
+        assert h.percentile(99) == pytest.approx(98.1)
+
+    def test_extremes_clamp_to_observed_range(self):
+        h = self.uniform_0_to_99()
+        assert h.percentile(0) == 0.0    # observed min
+        assert h.percentile(100) == 99.0  # observed max, not bucket edge 100
+
+    def test_single_value_every_percentile(self):
+        h = MetricsRegistry().histogram("lat", bounds=[8, 64])
+        h.observe(42.0)
+        for q in (0, 50, 99, 100):
+            assert h.percentile(q) == 42.0
+
+    def test_two_point_distribution(self):
+        h = MetricsRegistry().histogram("lat", bounds=[10, 20])
+        for _ in range(90):
+            h.observe(5.0)
+        for _ in range(10):
+            h.observe(15.0)
+        # p50 sits inside the first bucket: min=5 to bound 10, rank 50 of 90.
+        assert h.percentile(50) == pytest.approx(5.0 + (10 - 5) * (50 / 90))
+        # p99 sits in the second bucket: 10..max=15, rank 99 -> 9 of 10 into it.
+        assert h.percentile(99) == pytest.approx(10 + (15 - 10) * 0.9)
+
+    def test_overflow_bucket_uses_observed_max(self):
+        h = MetricsRegistry().histogram("lat", bounds=[10])
+        for v in (100.0, 200.0, 300.0, 400.0):
+            h.observe(v)
+        assert h.percentile(100) == 400.0
+        assert h.percentile(50) == pytest.approx(100 + (400 - 100) * 0.5)
+
+    def test_empty_histogram_is_zero(self):
+        h = MetricsRegistry().histogram("lat")
+        assert h.percentile(99) == 0.0
+
+    def test_out_of_range_rejected(self):
+        h = self.uniform_0_to_99()
+        for bad in (-1, 101):
+            with pytest.raises(TelemetryError):
+                h.percentile(bad)
+
+    def test_percentile_monotone_in_q(self):
+        h = MetricsRegistry().histogram("lat", bounds=[1, 2, 4, 8, 16, 32])
+        for v in (0.5, 1.5, 1.7, 3.0, 6.0, 7.5, 20.0, 40.0, 41.0):
+            h.observe(v)
+        estimates = [h.percentile(q) for q in range(0, 101, 5)]
+        assert estimates == sorted(estimates)
+        assert estimates[0] >= 0.5
+        assert estimates[-1] <= 41.0
+
+
 class TestSnapshotDiff:
     def test_snapshot_is_flat_path_to_value(self):
         reg = MetricsRegistry()

@@ -77,6 +77,52 @@ class TestEventQueue:
         assert EventQueue().step() is None
 
 
+class TestDeterminism:
+    """Dispatch order is a pure function of the schedule calls.
+
+    The heap orders by ``(time, seq)`` where ``seq`` is the schedule-call
+    counter, so equal-time events — including ones scheduled from inside
+    other events — replay identically run after run.  The serving layer's
+    byte-identical metric exports depend on this.
+    """
+
+    @staticmethod
+    def build_and_run():
+        q = EventQueue()
+        order = []
+
+        def spawn(tag, t, children=()):
+            def fire():
+                order.append(tag)
+                for child_tag, child_t in children:
+                    q.schedule(child_t, spawn(child_tag, child_t))
+                    order.append(f"scheduled:{child_tag}")
+            return fire
+
+        # Interleaved equal-time events plus nested scheduling that lands
+        # on already-populated timestamps.
+        q.schedule(2.0, spawn("a2", 2.0, children=[("a5", 5.0)]))
+        q.schedule(5.0, spawn("b5", 5.0))
+        q.schedule(2.0, spawn("c2", 2.0, children=[("c5", 5.0), ("c2b", 2.0)]))
+        q.schedule(5.0, spawn("d5", 5.0))
+        q.schedule(2.0, spawn("e2", 2.0))
+        q.run()
+        return order
+
+    def test_identical_schedules_dispatch_identically(self):
+        first = self.build_and_run()
+        second = self.build_and_run()
+        assert first == second
+
+    def test_seq_breaks_equal_time_ties_by_schedule_order(self):
+        order = [tag for tag in self.build_and_run()
+                 if not tag.startswith("scheduled:")]
+        # t=2: schedule-call order a2, c2, e2; c2's same-time child c2b
+        # was scheduled later than all of them, so it fires last.
+        # t=5: b5, d5 were scheduled before a2's and c2's children.
+        assert order == ["a2", "c2", "e2", "c2b", "b5", "d5", "a5", "c5"]
+
+
 class TestRunUntilMaxEventsInteraction:
     """Edge cases of ``run(until=...)`` combined with ``run(max_events=...)``."""
 
