@@ -200,6 +200,46 @@ def bench_serving() -> dict:
     }
 
 
+def bench_backends() -> dict:
+    """Wall-clock cost and cycle totals of every repro.sim backend.
+
+    Runs ResNet18 (heuristic mapping) through the ``analytic``,
+    ``streaming``, and ``event`` tiers and the small CNN through all four
+    (the cycle tier actually executes the mapped layers, so it only gets
+    the small workload).  Cycle totals and ratios are deterministic
+    simulation state; the wall times track how expensive each fidelity
+    tier is on this machine.
+    """
+    from repro.nn.workloads import resnet18_spec, small_cnn_spec
+    from repro.sim import simulate
+
+    jobs = {
+        "resnet18": (resnet18_spec(), ("analytic", "streaming", "event")),
+        "small_cnn": (
+            small_cnn_spec(), ("analytic", "streaming", "event", "cycle")
+        ),
+    }
+    out: dict = {}
+    for name, (network, backends) in jobs.items():
+        rows = {}
+        reference = None
+        for backend in backends:
+            t0 = time.perf_counter()
+            report = simulate(network, backend=backend)
+            wall = time.perf_counter() - t0
+            if backend == "streaming":
+                reference = report.total_cycles
+            rows[backend] = {
+                "total_cycles": report.total_cycles,
+                "latency_ms": report.latency_ms,
+                "wall_s": wall,
+            }
+        for backend, row in rows.items():
+            row["ratio_vs_streaming"] = row["total_cycles"] / reference
+        out[name] = rows
+    return out
+
+
 def bench_telemetry() -> dict:
     """Telemetry snapshot: workload cycle counts + top-level counters.
 
@@ -278,6 +318,12 @@ def main() -> None:
             os.path.dirname(__file__), "..", "BENCH_serving.json"
         ),
     )
+    parser.add_argument(
+        "--backends-out",
+        default=os.path.join(
+            os.path.dirname(__file__), "..", "BENCH_backends.json"
+        ),
+    )
     args = parser.parse_args()
 
     results = {
@@ -310,6 +356,16 @@ def main() -> None:
         json.dump(serving, f, indent=2, sort_keys=True)
         f.write("\n")
 
+    backends = {
+        "python": platform.python_version(),
+        "numpy": np.__version__,
+        "machine": platform.machine(),
+        "backends": bench_backends(),
+    }
+    with open(args.backends_out, "w") as f:
+        json.dump(backends, f, indent=2, sort_keys=True)
+        f.write("\n")
+
     mac = results["mac"]
     print(
         f"mac: ref {mac['reference_us_per_mac']:.1f}us  "
@@ -337,9 +393,19 @@ def main() -> None:
         f"serving loop: {loop['requests_per_sec']:.0f} requests/s "
         f"({loop['sim_ms_per_wall_s']:.0f} sim-ms per wall-second)"
     )
+    rn18 = backends["backends"]["resnet18"]
+    print(
+        "backends (resnet18): "
+        + "  ".join(
+            f"{name} {row['wall_s'] * 1e3:.0f}ms"
+            f"/{row['ratio_vs_streaming']:.3f}x"
+            for name, row in rn18.items()
+        )
+    )
     print(f"wrote {os.path.abspath(args.out)}")
     print(f"wrote {os.path.abspath(args.telemetry_out)}")
     print(f"wrote {os.path.abspath(args.serving_out)}")
+    print(f"wrote {os.path.abspath(args.backends_out)}")
 
 
 if __name__ == "__main__":

@@ -103,13 +103,22 @@ SCENARIOS = {
 }
 
 
-def build_policy(name: str, scheduler: MultiDNNScheduler) -> ServingPolicy:
+def build_policy(
+    name: str,
+    scheduler: MultiDNNScheduler,
+    *,
+    decision_backend: str = None,
+) -> ServingPolicy:
     if name == "static":
         return StaticPartitionPolicy(scheduler)
     if name == "time-shared":
         return TimeSharedPolicy(scheduler)
     if name == "elastic":
-        return ElasticPolicy(ServiceModel(scheduler), control_interval_ms=10.0)
+        return ElasticPolicy(
+            ServiceModel(scheduler),
+            control_interval_ms=10.0,
+            decision_backend=decision_backend,
+        )
     raise SystemExit(f"unknown policy {name!r}")
 
 
@@ -153,6 +162,13 @@ def main() -> int:
     parser.add_argument("--discipline", choices=("fifo", "edf"), default="fifo")
     parser.add_argument("--duration-ms", type=float, default=None,
                         help="override the scenario's default window")
+    parser.add_argument("--backend", default=None, metavar="NAME",
+                        help="repro.sim tier service times are computed on "
+                             "(default: streaming, the authoritative tier)")
+    parser.add_argument("--decision-backend", default=None, metavar="NAME",
+                        help="cheap repro.sim tier the elastic policy gates "
+                             "resize decisions on (e.g. analytic); SLO "
+                             "accounting stays on --backend")
     parser.add_argument("--json-out", default=None,
                         help="write the run result(s) as JSON")
     parser.add_argument("--metrics-out", default=None,
@@ -167,11 +183,13 @@ def main() -> int:
     duration_ms = args.duration_ms or default_duration
     policies = list(POLICIES) if args.policy == "all" else [args.policy]
 
-    scheduler = MultiDNNScheduler()
+    scheduler = MultiDNNScheduler(backend=args.backend)
     sink = telemetry.Telemetry()
     results: Dict[str, ServingRunResult] = {}
     for policy_name in policies:
-        policy = build_policy(policy_name, scheduler)
+        policy = build_policy(
+            policy_name, scheduler, decision_backend=args.decision_backend
+        )
         simulator = ServingSimulator(
             policy, discipline=args.discipline, telemetry=sink
         )

@@ -38,14 +38,26 @@ from repro.core.functional import FunctionalNodeGroup, bit_true_min_nodes
 from repro.core.node import MAICCNode, table4_workload
 from repro.dram.controller import DRAMController
 from repro.mapping.capacity import CapacityModel
-from repro.nn.workloads import ConvLayerSpec
+from repro.nn.workloads import ConvLayerSpec, NetworkSpec, small_cnn_spec
 from repro.noc.mesh import MeshNoC
 from repro.noc.packet import Packet, PacketKind
 from repro.riscv.core import Core
 from repro.riscv.memory import DRAM_BASE
+from repro.sim import simulate
 from repro.telemetry.hooks import publish_noc
 from repro.telemetry.trace import validate_chrome_trace
 from repro.utils.events import EventQueue
+
+
+def _sim_summary(network: NetworkSpec, backend: str) -> dict:
+    """Deterministic chip-tier numbers for the selected repro.sim tier."""
+    report = simulate(network, backend=backend)
+    return {
+        "backend": report.backend,
+        "total_cycles": report.total_cycles,
+        "latency_ms": report.latency_ms,
+        "segments": len(report.runs),
+    }
 
 
 def _segment_group(spec: ConvLayerSpec, seed: int) -> FunctionalNodeGroup:
@@ -61,7 +73,7 @@ def _segment_group(spec: ConvLayerSpec, seed: int) -> FunctionalNodeGroup:
     return group
 
 
-def run_tiny(sink: telemetry.Telemetry) -> dict:
+def run_tiny(sink: telemetry.Telemetry, backend: str = "streaming") -> dict:
     """Touch every instrumented subsystem once, quickly."""
     # 1. Functional tier: a small bit-true node group (per-core + layer tracks).
     spec = ConvLayerSpec(
@@ -106,10 +118,13 @@ def run_tiny(sink: telemetry.Telemetry) -> dict:
         "noc_packets": int(noc.stats.packets),
         "dram_accesses": int(dram.stats.accesses),
         "events": int(queue.processed),
+        "sim": _sim_summary(small_cnn_spec(), backend),
     }
 
 
-def run_resnet18_segment(sink: telemetry.Telemetry) -> dict:
+def run_resnet18_segment(
+    sink: telemetry.Telemetry, backend: str = "streaming"
+) -> dict:
     # conv1_x of ResNet18 with the spatial extent cut to 6x6 (as in
     # scripts/bench.py) so the bit-true group finishes in seconds.
     spec = ConvLayerSpec(
@@ -121,10 +136,13 @@ def run_resnet18_segment(sink: telemetry.Telemetry) -> dict:
         "nodes": group.num_computing,
         "vectors": int(group.stats.vectors_streamed),
         "macs": int(group.stats.macs),
+        "sim": _sim_summary(
+            NetworkSpec(name="resnet18-segment", layers=(spec,)), backend
+        ),
     }
 
 
-def run_table4(sink: telemetry.Telemetry) -> dict:
+def run_table4(sink: telemetry.Telemetry, backend: str = "streaming") -> dict:
     spec = table4_workload()
     rng = np.random.default_rng(4)
     node = MAICCNode(
@@ -150,6 +168,11 @@ WORKLOADS = {
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("--workload", choices=sorted(WORKLOADS), default="tiny")
+    parser.add_argument(
+        "--backend", metavar="NAME", default="streaming",
+        help="repro.sim tier for the chip-level summary section "
+             "(analytic/streaming/event/cycle)",
+    )
     parser.add_argument("--metrics-out", metavar="PATH", default="metrics.json")
     parser.add_argument("--trace-out", metavar="PATH", default="trace.json")
     parser.add_argument(
@@ -160,7 +183,7 @@ def main(argv=None) -> int:
 
     sink = telemetry.Telemetry()
     with telemetry.use(sink):
-        summary = WORKLOADS[args.workload](sink)
+        summary = WORKLOADS[args.workload](sink, backend=args.backend)
 
     metrics = {"workload": args.workload, "summary": summary,
                "registry": sink.registry.as_dict()}

@@ -1,0 +1,118 @@
+#!/usr/bin/env python3
+"""Cross-tier differential check: all simulation backends, one plan.
+
+Runs each workload through every registered ``repro.sim`` backend on the
+same mapped plan and asserts the network-level cycle totals agree within
+the per-tier envelope of ``repro.sim.xcheck`` (the ``cycle`` tier must
+additionally report every executed layer bit-identical to the quantized
+reference).  Exits non-zero on any violation.
+
+All numbers are simulation-derived and deterministic: two identical
+invocations produce byte-identical ``--json-out`` files (the CI
+``xcheck-smoke`` job diffs them).
+
+Workloads:
+
+* ``tiny`` — the 4-layer small CNN; all four tiers in well under a
+  minute.
+* ``resnet18-segment`` — a conv4_x-shaped two-layer ResNet18 block with
+  the spatial extent cut to 6x6 so the cycle tier's functional execution
+  stays fast while the channel/filter dimensions stay full-size.
+
+Run:  PYTHONPATH=src python scripts/xcheck.py --workload all \\
+          --json-out xcheck.json
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+
+sys.path.insert(0, os.path.join(os.path.dirname(__file__), "..", "src"))
+
+from repro.nn.workloads import ConvLayerSpec, NetworkSpec, small_cnn_spec
+from repro.sim import available_backends, cross_check
+
+
+def resnet18_segment_spec() -> NetworkSpec:
+    """conv4_x of ResNet18 with the spatial extent cut to 6x6."""
+    layers = tuple(
+        ConvLayerSpec(
+            index=i + 1, name=f"conv4_{i + 1}[6x6]", h=6, w=6, c=256, m=256,
+            r=3, s=3, stride=1, padding=1, n_bits=8,
+        )
+        for i in range(2)
+    )
+    return NetworkSpec(name="resnet18-segment", layers=layers)
+
+
+WORKLOADS = {
+    "tiny": small_cnn_spec,
+    "resnet18-segment": resnet18_segment_spec,
+}
+
+
+def print_report(report) -> None:
+    print(f"\n{report.network} (strategy={report.strategy}, "
+          f"reference={report.reference})")
+    print(f"{'backend':>10} {'cycles':>16} {'latency_ms':>12} "
+          f"{'ratio':>8} {'envelope':>14}  ok")
+    for check in report.checks:
+        env = f"[{check.lo:.2f}, {check.hi:.2f}]"
+        print(f"{check.backend:>10} {check.total_cycles:16.1f} "
+              f"{check.latency_ms:12.6f} {check.ratio:8.4f} {env:>14}  "
+              f"{'yes' if check.ok else 'NO'}")
+        for note in check.notes:
+            print(f"{'':>10}   {note}")
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--workload", choices=sorted(WORKLOADS) + ["all"], default="all"
+    )
+    parser.add_argument(
+        "--strategy", default="heuristic",
+        help="mapping strategy shared by all tiers (default: heuristic)",
+    )
+    parser.add_argument(
+        "--backends", nargs="*", default=None, metavar="NAME",
+        help=f"tiers to compare (default: all of {list(available_backends())})",
+    )
+    parser.add_argument("--json-out", metavar="PATH", default=None)
+    args = parser.parse_args(argv)
+
+    names = sorted(WORKLOADS) if args.workload == "all" else [args.workload]
+    reports = []
+    for name in names:
+        report = cross_check(
+            WORKLOADS[name](),
+            strategy=args.strategy,
+            backends=args.backends,
+        )
+        print_report(report)
+        reports.append(report)
+
+    if args.json_out:
+        payload = {
+            "strategy": args.strategy,
+            "workloads": {r.network: r.as_dict() for r in reports},
+        }
+        with open(args.json_out, "w") as f:
+            json.dump(payload, f, indent=2, sort_keys=True)
+            f.write("\n")
+        print(f"\nwrote {os.path.abspath(args.json_out)}")
+
+    failed = [r for r in reports if not r.ok]
+    if failed:
+        print(f"\nFAILED: {', '.join(r.network for r in failed)} outside "
+              "the agreement envelope", file=sys.stderr)
+        return 1
+    print("\nall tiers within the agreement envelope")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -22,7 +22,7 @@ from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence
 
 from repro.core.perfmodel import LayerTiming
-from repro.core.streaming import _completion_source_index
+from repro.core.streaming import completion_source_index
 from repro.errors import SimulationError
 from repro.nn.workloads import ConvLayerSpec
 from repro.utils.events import EventQueue
@@ -83,7 +83,7 @@ class EventDrivenSegmentSimulator:
                     for ox in range(0, ow, step):
                         if len(sources) >= lt.iterations:
                             break
-                        src = _completion_source_index(prev_spec, oy, ox)
+                        src = completion_source_index(prev_spec, oy, ox)
                         sources.append(min(src, timings[producer_of[li]].iterations - 1))
                 while len(sources) < lt.iterations:
                     sources.append(sources[-1] if sources else 0)

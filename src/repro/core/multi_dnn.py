@@ -14,6 +14,7 @@ from typing import List, Optional, Sequence
 
 from repro.core.simulator import ChipSimulator, NetworkRunResult
 from repro.errors import MappingError, SimulationError
+from repro.sim import SimConfig, simulate
 from repro.mapping.allocation import proportional_shares
 from repro.mapping.placement import NodePlacement, zigzag_placement
 from repro.nn.workloads import NetworkSpec
@@ -92,9 +93,13 @@ class MultiDNNScheduler:
         simulator: Optional[ChipSimulator] = None,
         *,
         array_size: int = 208,
+        backend: Optional[str] = None,
     ) -> None:
+        """``backend`` selects the fidelity tier partitions are simulated
+        on (``repro.sim`` name); ``None`` follows the simulator's tier."""
         self.array_size = array_size
         self.simulator = simulator or ChipSimulator(array_size=array_size)
+        self.backend = backend or self.simulator.backend
         self.capacity = self.simulator.capacity
 
     def minimum_cores(self, network: NetworkSpec) -> int:
@@ -131,6 +136,8 @@ class MultiDNNScheduler:
         network: NetworkSpec,
         cores: int,
         strategy: str = "heuristic",
+        *,
+        backend: Optional[str] = None,
     ) -> NetworkRunResult:
         """Run one model inside a ``cores``-sized slice of the array.
 
@@ -138,15 +145,18 @@ class MultiDNNScheduler:
         elastic partition manager of :mod:`repro.serving`: both derive a
         partition's service time from exactly this simulation, so a
         static partition and an elastic partition of the same size agree
-        bit-for-bit.
+        bit-for-bit.  ``backend`` overrides the scheduler's tier for this
+        call only (the elastic policy estimates resize decisions on the
+        cheap ``analytic`` tier this way).
         """
-        sim = ChipSimulator(
+        config = SimConfig(
             chip=self.simulator.chip,
             params=self.simulator.params,
             capacity=self.capacity,
             array_size=cores,
+            strategy=strategy,
         )
-        return sim.run(network, strategy)
+        return simulate(network, backend=backend or self.backend, config=config)
 
     def run(
         self,
@@ -180,6 +190,6 @@ class MultiDNNScheduler:
         # Baseline: whole array, one model at a time, repeated round-robin.
         time_shared = 0.0
         for net in networks:
-            result = self.simulator.run(net, strategy)
+            result = self.simulator.run(net, strategy, backend=self.backend)
             time_shared += result.latency_ms
         return MultiDNNResult(runs=runs, time_shared_latency_ms=time_shared)

@@ -160,9 +160,13 @@ class MAICCRuntime:
         simulator: Optional[ChipSimulator] = None,
         *,
         strategy: str = "heuristic",
+        backend: Optional[str] = None,
     ) -> None:
+        """``backend`` selects the performance-estimate fidelity tier
+        (``repro.sim`` name); ``None`` keeps the simulator's own tier."""
         self.simulator = simulator or ChipSimulator()
         self.strategy = strategy
+        self.backend = backend
 
     def deploy(
         self,
@@ -175,7 +179,9 @@ class MAICCRuntime:
         """Quantize, map, and place a float model."""
         qgraph = quantize_graph(graph, calibration_inputs, n_bits=n_bits)
         network = network_spec_of(qgraph, name)
-        performance = self.simulator.run(network, self.strategy)
+        performance = self.simulator.run(
+            network, self.strategy, backend=self.backend
+        )
         placements = [
             zigzag_placement(run.segment) for run in performance.runs
         ]

@@ -1,100 +1,46 @@
-"""Chip-level simulation: map a network, stream every segment, account
-cycles and energy.  Drives Tables 6 and 7 and Figures 9 and 10.
+"""Chip-level simulation front door: map a network, simulate it on a
+named backend, account cycles and energy.  Drives Tables 6 and 7 and
+Figures 9 and 10.
+
+The simulation itself lives in :mod:`repro.sim` — a registry of
+fidelity-tiered backends (``analytic``, ``streaming``, ``event``,
+``cycle``) behind one entry point.  :class:`ChipSimulator` is the
+thin configuration facade kept for its historical constructor shape;
+``NetworkRunResult`` and ``SegmentRun`` are aliases of the canonical
+:class:`repro.sim.RunReport` / :class:`repro.sim.SegmentReport` schema.
+The default path (``backend="streaming"``) is byte-identical to the
+pre-backend simulator (pinned by ``tests/sim/test_differential_pins.py``).
 """
 
 from __future__ import annotations
 
-import math
-from dataclasses import dataclass
 from typing import List, Optional
 
 from repro.core.chip import ChipConfig
 from repro.core.perfmodel import LayerTiming, PerformanceModel, TimingParams
-from repro.core.streaming import SegmentResult, SegmentSimulator
-from repro.energy.constants import ChipConstants
-from repro.energy.power import EnergyBreakdown, EnergyModel, OpCounts
+from repro.energy.power import EnergyModel
 from repro.errors import MappingError
 from repro.mapping.capacity import CapacityModel
-from repro.mapping.tiling import tile_network
-from repro.mapping.segmentation import (
-    MappingStrategy,
-    Segment,
-    SegmentPlan,
-    STRATEGIES,
-)
+from repro.mapping.segmentation import Segment, SegmentPlan
 from repro.nn.workloads import NetworkSpec
+from repro.sim.accounting import plan_network, segment_timings
+from repro.sim.backends import DEFAULT_BACKEND, get_backend, simulate
+from repro.sim.config import SimConfig
+from repro.sim.report import RunReport, SegmentReport
 
-
-@dataclass
-class SegmentRun:
-    """One mapped segment's simulated execution."""
-
-    segment: Segment
-    timings: List[LayerTiming]
-    result: SegmentResult
-    filter_load_cycles: float
-    staging_cycles: float
-
-    @property
-    def cycles(self) -> float:
-        return self.result.total_cycles + self.filter_load_cycles + self.staging_cycles
-
-
-@dataclass
-class NetworkRunResult:
-    """Everything one network run produced (one or more samples)."""
-
-    network: NetworkSpec
-    strategy: str
-    plan: SegmentPlan
-    runs: List[SegmentRun]
-    total_cycles: float
-    ops: OpCounts
-    energy: EnergyBreakdown
-    constants: ChipConstants
-    batch: int = 1
-
-    @property
-    def latency_ms(self) -> float:
-        """Whole-run latency (all ``batch`` samples)."""
-        return self.total_cycles * self.constants.cycle_seconds * 1e3
-
-    @property
-    def throughput_samples_s(self) -> float:
-        return self.batch * 1000.0 / self.latency_ms
-
-    @property
-    def average_power_w(self) -> float:
-        seconds = self.total_cycles * self.constants.cycle_seconds
-        return self.energy.total / seconds
-
-    @property
-    def throughput_per_watt(self) -> float:
-        return self.throughput_samples_s / self.average_power_w
-
-    def gops_per_watt(self, *, include_dram: bool = True) -> float:
-        """Computational efficiency in GOPS/W (1 MAC = 2 ops).
-
-        The paper's Neural-Cache comparison excludes DRAM power
-        (Sec. 6.3); pass ``include_dram=False`` to match.
-        """
-        seconds = self.total_cycles * self.constants.cycle_seconds
-        ops = 2.0 * self.batch * self.network.total_macs / seconds
-        energy = self.energy.total if include_dram else self.energy.total - self.energy.dram
-        return ops / (energy / seconds) / 1e9
-
-    def nodes_of(self, layer_index: int) -> int:
-        return self.plan.nodes_of(layer_index)
-
-    def segment_latency_ms(self, layer_index: int) -> float:
-        for run in self.runs:
-            if layer_index in run.segment.allocation.nodes:
-                return run.cycles * self.constants.cycle_seconds * 1e3
-        raise MappingError(f"layer {layer_index} not in any segment run")
+# Canonical result schema, re-exported under the historical names.
+NetworkRunResult = RunReport
+SegmentRun = SegmentReport
 
 
 class ChipSimulator:
-    """Maps networks onto the chip and simulates their execution."""
+    """Maps networks onto the chip and simulates their execution.
+
+    ``backend`` selects the fidelity tier by name (see
+    ``repro.sim.available_backends()`` / ``docs/SIMULATORS.md``); the
+    default is the tandem-queue ``streaming`` tier all historical
+    results were produced on.
+    """
 
     def __init__(
         self,
@@ -103,43 +49,36 @@ class ChipSimulator:
         capacity: Optional[CapacityModel] = None,
         *,
         array_size: int = 208,
+        backend: str = DEFAULT_BACKEND,
     ) -> None:
         self.chip = chip
         self.params = params
         self.capacity = capacity or CapacityModel()
         self.array_size = array_size
+        self.backend = backend
+        get_backend(backend)  # fail fast on unknown names
         self.model = PerformanceModel(params, self.capacity)
         self.energy_model = EnergyModel(chip.constants)
+
+    def _config(self, strategy: str = "heuristic", batch: int = 1) -> SimConfig:
+        return SimConfig(
+            chip=self.chip,
+            params=self.params,
+            capacity=self.capacity,
+            array_size=self.array_size,
+            strategy=strategy,
+            batch=batch,
+        )
 
     # -- mapping ------------------------------------------------------------------
 
     def plan(self, network: NetworkSpec, strategy: str) -> SegmentPlan:
-        try:
-            strategy_cls = STRATEGIES[strategy]
-        except KeyError:
-            raise MappingError(
-                f"unknown strategy {strategy!r}; choose from {sorted(STRATEGIES)}"
-            ) from None
-        # Layers too large for the whole array run in multiple passes.
-        network = tile_network(network, self.capacity, self.array_size)
-        mapper: MappingStrategy = strategy_cls(
-            array_size=self.array_size, capacity=self.capacity
-        )
-        return mapper.plan(network, self.model.layer_time_fn())
-
-    # -- simulation -------------------------------------------------------------------
+        return plan_network(network, strategy, self._config(strategy))
 
     def _segment_timings(self, segment: Segment) -> List[LayerTiming]:
-        timings = []
-        for i, spec in enumerate(segment.layers):
-            timings.append(
-                self.model.layer_timing(
-                    spec,
-                    segment.allocation.nodes[spec.index],
-                    from_dram=(i == 0),
-                )
-            )
-        return timings
+        return segment_timings(self.model, segment)
+
+    # -- simulation ---------------------------------------------------------------
 
     def run(
         self,
@@ -147,118 +86,20 @@ class ChipSimulator:
         strategy: str = "heuristic",
         *,
         batch: int = 1,
+        backend: Optional[str] = None,
     ) -> NetworkRunResult:
         """Simulate ``batch`` back-to-back inferences.
 
         Samples stream through each segment at its steady-state rate, so
         pipeline fill and the filter-load phase amortize across the batch
         (latency reported is for the whole batch; throughput per sample).
+        ``backend`` overrides the simulator's configured tier for this
+        run only.
         """
         if batch < 1:
             raise MappingError(f"batch must be >= 1, got {batch}")
-        network = tile_network(network, self.capacity, self.array_size)
-        plan = self.plan(network, strategy)
-        runs: List[SegmentRun] = []
-        total = 0.0
-        ops = OpCounts()
-        for k, segment in enumerate(plan.segments):
-            timings = self._segment_timings(segment)
-            sim = SegmentSimulator(timings)
-            result = sim.run()
-            weight_bytes = sum(
-                spec.weight_count * spec.n_bits / 8 for spec in segment.layers
-            )
-            load = (
-                weight_bytes
-                / self.params.filter_load_bw
-                * (1.0 - self.params.filter_load_overlap)
-            )
-            staging = self._staging_cycles(plan, k) * batch
-            run = SegmentRun(
-                segment=segment,
-                timings=timings,
-                result=result,
-                filter_load_cycles=load,
-                staging_cycles=staging,
-            )
-            runs.append(run)
-            # Extra samples ride the steady-state pipeline: the segment's
-            # bottleneck station dictates the per-sample interval.
-            steady = max(
-                flow.iterations * flow.interval_work for flow in result.flows
-            )
-            total += run.cycles + (batch - 1) * steady
-            self._count_ops(ops, segment, timings, result, weight_bytes,
-                            batch=batch)
-        seconds = total * self.chip.constants.cycle_seconds
-        energy = self.energy_model.breakdown(ops, seconds)
-        return NetworkRunResult(
-            network=network,
-            strategy=strategy,
-            plan=plan,
-            runs=runs,
-            total_cycles=total,
-            ops=ops,
-            energy=energy,
-            constants=self.chip.constants,
-            batch=batch,
+        return simulate(
+            network,
+            backend=backend or self.backend,
+            config=self._config(strategy, batch),
         )
-
-    # -- helpers --------------------------------------------------------------------
-
-    def _boundary_bytes(self, plan: SegmentPlan, k: int) -> int:
-        """Fmap bytes staged through DRAM after segment ``k``."""
-        last = plan.segments[k].layers[-1]
-        oh, ow = last.ofmap_hw
-        return last.m * oh * ow * last.n_bits // 8
-
-    def _staging_cycles(self, plan: SegmentPlan, k: int) -> float:
-        """Write-out + read-back of the boundary fmaps around segment k."""
-        bw = self.params.filter_load_bw
-        cycles = 0.0
-        if k > 0:
-            cycles += self._boundary_bytes(plan, k - 1) / bw  # read back in
-        if k < len(plan.segments) - 1:
-            cycles += self._boundary_bytes(plan, k) / bw  # write out
-        return cycles
-
-    def _count_ops(
-        self,
-        ops: OpCounts,
-        segment: Segment,
-        timings: List[LayerTiming],
-        result: SegmentResult,
-        weight_bytes: float,
-        batch: int = 1,
-    ) -> None:
-        cap = self.capacity
-        for lt in timings:
-            spec = lt.spec
-            nodes = lt.computing_nodes
-            vpf = cap.macs_per_filter_per_pixel(spec)
-            ops.macs += spec.ofmap_pixels * spec.m * vpf * batch
-            sub = max(1, math.ceil(spec.c / cap.cols))
-            iterations = lt.iterations
-            # Broadcast moves happen on every node, every iteration.
-            slices = self.model.slices_used(spec, nodes)
-            ops.moves += iterations * slices * sub * nodes * batch
-            # The DC writes one full row group per vector.
-            ops.vertical_writes += iterations * cap.cols * sub * batch
-            # Vector forwarding along the chain: N rows per hop.
-            row_transfers = iterations * spec.n_bits * sub * nodes * batch
-            ops.remote_rows += row_transfers
-            ops.noc_flit_hops += row_transfers * 5  # 5-flit row packets, 1 hop
-            # Ofmap values to the next DC: 2-flit scalar stores, ~2 hops.
-            ofmap_values = spec.ofmap_pixels * spec.m * batch
-            ops.noc_flit_hops += ofmap_values * 2 * 2
-        # DRAM traffic: weights plus this segment's input and output fmaps.
-        first, last = segment.layers[0], segment.layers[-1]
-        in_bytes = first.c * first.ifmap_pixels * first.n_bits // 8
-        oh, ow = last.ofmap_hw
-        out_bytes = last.m * oh * ow * last.n_bits // 8
-        dram_bytes = int(weight_bytes) + (in_bytes + out_bytes) * batch
-        ops.dram_bytes += dram_bytes
-        ops.llc_accesses += dram_bytes // 64
-        ops.noc_flit_hops += (dram_bytes // 8) * 8  # LLC<->core traffic, ~8 hops
-        active = segment.total_nodes
-        ops.core_active_cycles += int(active * result.total_cycles)

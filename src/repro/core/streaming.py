@@ -83,13 +83,33 @@ class SegmentResult:
         raise SimulationError(f"no flow recorded for layer {layer_index}")
 
 
-def _completion_source_index(
+def completion_source_index(
     producer: ConvLayerSpec, oy: int, ox: int
 ) -> int:
-    """Producer ifmap-vector index that completes ofmap pixel (oy, ox)."""
+    """Producer ifmap-vector index that completes ofmap pixel ``(oy, ox)``.
+
+    An ofmap pixel of a stride/padding convolution is computable as soon
+    as the *last* ifmap vector its receptive field touches has arrived —
+    the bottom-right corner of the ``r x s`` window, clamped to the ifmap
+    edge when padding hangs the window past it.  Vectors arrive in raster
+    order, so the returned flat index (``y * w + x``) is also the arrival
+    rank of that vector.
+
+    This is the producer→consumer dependence both streaming tiers key
+    on: the tandem-queue :class:`SegmentSimulator` uses it to compute
+    per-vector readiness times, and the event-driven tier
+    (:mod:`repro.core.event_streaming`) uses it to decide which forwarded
+    vector unblocks each downstream compute.  Keeping them on one helper
+    is what makes their agreement (``repro.sim.xcheck``) evidence about
+    the *queueing* models, not about dependence bookkeeping.
+    """
     y = min(producer.h - 1, oy * producer.stride - producer.padding + producer.r - 1)
     x = min(producer.w - 1, ox * producer.stride - producer.padding + producer.s - 1)
     return y * producer.w + x
+
+
+#: Historical (pre-public) name, kept for back-compat.
+_completion_source_index = completion_source_index
 
 
 class SegmentSimulator:
@@ -149,7 +169,7 @@ class SegmentSimulator:
                     for ox in range(0, ow, step):
                         if v >= iterations:
                             break
-                        src = _completion_source_index(prev_spec, oy, ox)
+                        src = completion_source_index(prev_spec, oy, ox)
                         # Guard for producers that streamed a subgrid of
                         # their ifmap (1x1 stride-2 shortcuts).
                         src = min(src, len(prev_departures) - 1)

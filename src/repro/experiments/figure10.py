@@ -11,10 +11,13 @@ PAPER_AREA = {"cmem": 0.65, "core": 0.11, "local_mem": 0.10, "noc": 0.09, "llc":
 PAPER_ENERGY = {"dram": 0.71, "cmem": 0.11, "noc": 0.11}
 
 
-def run(simulator: ChipSimulator = None) -> ExperimentResult:
+def run(
+    simulator: ChipSimulator = None, *, backend: str = None
+) -> ExperimentResult:
+    """``backend`` names the repro.sim fidelity tier to simulate on."""
     sim = simulator or ChipSimulator()
     area = area_breakdown(sim.chip.constants)
-    energy = sim.run(resnet18_spec(), "heuristic").energy
+    energy = sim.run(resnet18_spec(), "heuristic", backend=backend).energy
 
     result = ExperimentResult(
         experiment="figure10",

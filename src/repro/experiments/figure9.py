@@ -11,14 +11,20 @@ dominates under the single-layer and greedy strategies.
 from __future__ import annotations
 
 from repro.core.simulator import ChipSimulator
-from repro.core.streaming import SegmentSimulator
 from repro.experiments.report import ExperimentResult
 from repro.nn.workloads import resnet18_spec
+from repro.sim import streaming_core_breakdown
 
 LAYER_INDEX = 9  # conv2_4
 
 
-def run(simulator: ChipSimulator = None) -> ExperimentResult:
+def run(
+    simulator: ChipSimulator = None, *, backend: str = None
+) -> ExperimentResult:
+    """``backend`` names the repro.sim tier the run totals come from; the
+    per-iteration breakdown itself is defined by the streaming model (a
+    streaming-tier run reuses its result, other tiers re-simulate the
+    one segment)."""
     sim = simulator or ChipSimulator()
     network = resnet18_spec()
     result = ExperimentResult(
@@ -30,12 +36,13 @@ def run(simulator: ChipSimulator = None) -> ExperimentResult:
         ],
     )
     for strategy in ("single-layer", "greedy", "heuristic"):
-        run_result = sim.run(network, strategy)
+        run_result = sim.run(network, strategy, backend=backend)
         for seg_run in run_result.runs:
             if LAYER_INDEX not in seg_run.segment.allocation.nodes:
                 continue
-            seg_sim = SegmentSimulator(seg_run.timings)
-            breakdown = seg_sim.core_breakdown(LAYER_INDEX, seg_run.result)
+            breakdown = streaming_core_breakdown(
+                seg_run.timings, LAYER_INDEX, seg_run.result
+            )
             result.add_row(
                 strategy=strategy,
                 nodes=run_result.nodes_of(LAYER_INDEX),

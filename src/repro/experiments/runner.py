@@ -3,6 +3,7 @@
 from __future__ import annotations
 
 import argparse
+import inspect
 import sys
 from typing import Callable, Dict, Optional
 
@@ -29,18 +30,27 @@ PAPER_EXPERIMENTS = ("table4", "table5", "table6", "table7", "figure9", "figure1
 
 
 def run_experiment(
-    name: str, telemetry: Optional[_telemetry.TelemetrySink] = None
+    name: str,
+    telemetry: Optional[_telemetry.TelemetrySink] = None,
+    *,
+    backend: Optional[str] = None,
 ) -> ExperimentResult:
+    """``backend`` selects the repro.sim fidelity tier for experiments
+    that simulate networks; experiments without a backend knob (the
+    node-level ablations) ignore it."""
     try:
         runner = REGISTRY[name]
     except KeyError:
         raise SystemExit(
             f"unknown experiment {name!r}; available: {', '.join(sorted(REGISTRY))}"
         ) from None
+    kwargs = {}
+    if backend is not None and "backend" in inspect.signature(runner).parameters:
+        kwargs["backend"] = backend
     if telemetry is not None:
         with _telemetry.use(telemetry):
-            return runner()
-    return runner()
+            return runner(**kwargs)
+    return runner(**kwargs)
 
 
 def main(argv=None) -> int:
@@ -59,6 +69,11 @@ def main(argv=None) -> int:
     parser.add_argument(
         "--all", action="store_true",
         help="run ablations too (default: the paper's tables/figures)",
+    )
+    parser.add_argument(
+        "--backend", metavar="NAME", default=None,
+        help="repro.sim fidelity tier (analytic/streaming/event/cycle; "
+             "default: streaming)",
     )
     parser.add_argument(
         "--metrics-out", metavar="PATH", default=None,
@@ -85,7 +100,7 @@ def main(argv=None) -> int:
     if args.metrics_out or args.trace_out:
         sink = _telemetry.Telemetry()
     for name in names:
-        result = run_experiment(name, telemetry=sink)
+        result = run_experiment(name, telemetry=sink, backend=args.backend)
         print(format_table(result))
         print()
     if sink is not None:

@@ -24,11 +24,14 @@ PAPER_NODES = {
 }
 
 
-def run(simulator: ChipSimulator = None) -> ExperimentResult:
+def run(
+    simulator: ChipSimulator = None, *, backend: str = None
+) -> ExperimentResult:
+    """``backend`` names the repro.sim fidelity tier to simulate on."""
     sim = simulator or ChipSimulator()
     network = resnet18_spec()
     runs: Dict[str, NetworkRunResult] = {
-        name: sim.run(network, name)
+        name: sim.run(network, name, backend=backend)
         for name in ("single-layer", "greedy", "heuristic")
     }
 

@@ -22,10 +22,13 @@ PAPER = {
 PAPER_GFLOPS_PER_W = {"MAICC": 50.03, "NeuralCache": 22.90}
 
 
-def run(simulator: ChipSimulator = None) -> ExperimentResult:
+def run(
+    simulator: ChipSimulator = None, *, backend: str = None
+) -> ExperimentResult:
+    """``backend`` names the repro.sim fidelity tier to simulate on."""
     sim = simulator or ChipSimulator()
     network = resnet18_spec()
-    maicc = sim.run(network, "heuristic")
+    maicc = sim.run(network, "heuristic", backend=backend)
 
     result = ExperimentResult(
         experiment="table7",

@@ -135,6 +135,14 @@ class ElasticPolicy(ServingPolicy):
     ``hysteresis_cores`` and ``cooldown_ms`` has passed since the last
     resize — re-maps the resized tenants (allocation + zig-zag placement)
     and charges each a weight re-staging stall.
+
+    ``decision_backend`` names a cheap ``repro.sim`` tier (typically
+    ``"analytic"``) to *gate* resizes on: a proposal only commits if it
+    improves the estimated worst-tenant latency on that tier.  SLO
+    accounting (the committed ``service_ms``) always reads the service
+    model's authoritative tier regardless.  ``None`` (the default) keeps
+    the demand-share gate alone — byte-identical to the historical
+    behaviour.
     """
 
     name = "elastic"
@@ -146,6 +154,7 @@ class ElasticPolicy(ServingPolicy):
         control_interval_ms: float = 10.0,
         hysteresis_cores: int = 8,
         cooldown_ms: float = 0.0,
+        decision_backend: Optional[str] = None,
     ) -> None:
         super().__init__()
         if control_interval_ms <= 0:
@@ -160,6 +169,7 @@ class ElasticPolicy(ServingPolicy):
         self.control_interval_ms = control_interval_ms
         self.hysteresis_cores = hysteresis_cores
         self.cooldown_ms = cooldown_ms
+        self.decision_backend = decision_backend
         self.resize_count = 0
         self._tenants: List[TenantSpec] = []
         self._minimums: Dict[str, int] = {}
@@ -219,6 +229,10 @@ class ElasticPolicy(ServingPolicy):
             abs(share - self._shares[name]) for name, share in moved.items()
         ) < self.hysteresis_cores:
             return None
+        if self.decision_backend is not None and not self._estimate_improves(
+            proposal
+        ):
+            return None
 
         for tenant, share in zip(self._tenants, proposal):
             self._shares[tenant.name] = share
@@ -245,6 +259,24 @@ class ElasticPolicy(ServingPolicy):
             stall_ms=stall,
             placements_recomputed=placements,
         )
+
+    def _estimate_improves(self, proposal: Sequence[int]) -> bool:
+        """Does the proposal lower the worst-tenant latency estimate?
+
+        Estimated on the cheap ``decision_backend`` tier; the committed
+        service times still come from the authoritative tier.
+        """
+
+        def worst(shares: Sequence[int]) -> float:
+            return max(
+                self.service.partition_run(
+                    t.network, share, backend=self.decision_backend
+                ).latency_ms
+                for t, share in zip(self._tenants, shares)
+            )
+
+        current = worst([self._shares[t.name] for t in self._tenants])
+        return worst(proposal) < current
 
 
 class FixedServicePolicy(ServingPolicy):

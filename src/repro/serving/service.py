@@ -6,34 +6,61 @@ knows how to compute:
 * ``latency_ms(network, cores)`` — the model's inference latency inside a
   ``cores``-sized partition, obtained by re-running the full mapping
   pipeline (:mod:`repro.mapping.allocation` via the segment planner, then
-  the streaming simulator) through
+  the selected ``repro.sim`` backend) through
   :meth:`repro.core.multi_dnn.MultiDNNScheduler.simulate_partition`.
-  Results are memoized per ``(network, cores)`` — resizes revisit the
-  same handful of share sizes, and :class:`NetworkSpec` is hashable.
+  Results are memoized per ``(network, cores, backend)`` in a bounded LRU
+  — resizes revisit the same handful of share sizes, and
+  :class:`NetworkSpec` is hashable.  Cache traffic is observable at
+  ``serving/service/cache_hit`` / ``serving/service/cache_miss``.
 
 * ``restage_ms(network)`` — the sim-time cost of re-staging the model's
   weights after its partition moved or changed size.  Weights stream
   from DRAM at the perf model's aggregate filter-load bandwidth with no
   compute to overlap behind (the partition is idle mid-resize), so the
   full ``weight_bytes / filter_load_bw`` cycles are charged.
+
+SLO accounting always reads the model's authoritative tier (the
+``backend`` the service was built with, ``streaming`` by default);
+:meth:`estimate_latency_ms` exposes the cheap ``analytic`` tier for
+control decisions that only need relative orderings (the elastic
+policy's resize gate).
 """
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Tuple
+from collections import OrderedDict
+from typing import List, Optional, Tuple
 
+from repro import telemetry
 from repro.core.multi_dnn import MultiDNNScheduler
 from repro.core.simulator import NetworkRunResult
 from repro.mapping.placement import NodePlacement, zigzag_placement
 from repro.nn.workloads import NetworkSpec
 
+#: Default bound on memoized (network, cores, backend) simulations.  A
+#: serving scenario revisits a few share sizes per tenant; 256 entries is
+#: generous for tens of tenants while bounding long-lived services.
+DEFAULT_CACHE_SIZE = 256
+
+_CacheKey = Tuple[NetworkSpec, int, str]
+
 
 class ServiceModel:
     """Caches per-partition-size simulations of each tenant's network."""
 
-    def __init__(self, scheduler: Optional[MultiDNNScheduler] = None) -> None:
+    def __init__(
+        self,
+        scheduler: Optional[MultiDNNScheduler] = None,
+        *,
+        backend: Optional[str] = None,
+        cache_size: int = DEFAULT_CACHE_SIZE,
+    ) -> None:
         self.scheduler = scheduler or MultiDNNScheduler()
-        self._runs: Dict[Tuple[NetworkSpec, int], NetworkRunResult] = {}
+        #: Authoritative tier for SLO accounting (scheduler's tier when
+        #: unset — ``streaming`` on the default path).
+        self.backend = backend or self.scheduler.backend
+        self.cache_size = cache_size
+        self._runs: "OrderedDict[_CacheKey, NetworkRunResult]" = OrderedDict()
 
     @property
     def array_size(self) -> int:
@@ -42,16 +69,46 @@ class ServiceModel:
     def minimum_cores(self, network: NetworkSpec) -> int:
         return self.scheduler.minimum_cores(network)
 
-    def partition_run(self, network: NetworkSpec, cores: int) -> NetworkRunResult:
-        """The memoized simulation of ``network`` on ``cores`` cores."""
-        key = (network, cores)
+    def partition_run(
+        self,
+        network: NetworkSpec,
+        cores: int,
+        *,
+        backend: Optional[str] = None,
+    ) -> NetworkRunResult:
+        """The memoized simulation of ``network`` on ``cores`` cores.
+
+        ``backend`` overrides the service's authoritative tier for this
+        lookup (cached separately per tier)."""
+        tier = backend or self.backend
+        key = (network, cores, tier)
+        sink = telemetry.current()
         run = self._runs.get(key)
-        if run is None:
-            run = self._runs[key] = self.scheduler.simulate_partition(network, cores)
+        if run is not None:
+            self._runs.move_to_end(key)
+            if sink.enabled:
+                sink.registry.counter("serving/service/cache_hit").inc()
+            return run
+        if sink.enabled:
+            sink.registry.counter("serving/service/cache_miss").inc()
+        run = self.scheduler.simulate_partition(network, cores, backend=tier)
+        self._runs[key] = run
+        while len(self._runs) > self.cache_size:
+            self._runs.popitem(last=False)
         return run
 
     def latency_ms(self, network: NetworkSpec, cores: int) -> float:
+        """Authoritative-tier latency (what SLO accounting bills)."""
         return self.partition_run(network, cores).latency_ms
+
+    def estimate_latency_ms(self, network: NetworkSpec, cores: int) -> float:
+        """Cheap analytic-tier latency for control decisions.
+
+        A conservative upper bound on the streaming tier (see
+        ``repro.sim.xcheck``); suitable for comparing partition sizes,
+        not for billing SLOs.
+        """
+        return self.partition_run(network, cores, backend="analytic").latency_ms
 
     def placements(
         self, network: NetworkSpec, cores: int, start_offset: int

@@ -1,0 +1,82 @@
+"""Shared configuration consumed by every simulation backend.
+
+One :class:`SimConfig` fully describes *what machine* a network is
+simulated on (chip geometry, timing constants, capacity model, partition
+size) and *how* the selected backend should run it (batch, mapping
+strategy, tier-specific knobs).  Front doors that historically carried
+their own constructor parameters (``ChipSimulator``, ``MAICCRuntime``,
+``MultiDNNScheduler``, ``serving.ServiceModel``) all reduce their state
+to a ``SimConfig`` before entering the backend layer, so every tier
+answers the same fully-specified query.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Optional
+
+from repro.core.chip import ChipConfig
+from repro.core.perfmodel import TimingParams
+from repro.errors import ConfigurationError
+from repro.mapping.capacity import CapacityModel
+
+#: Compute cores available to the mapper by default (the paper's 210-core
+#: array minus the two cores reserved for the streaming DC of the widest
+#: segment — the historical ``ChipSimulator`` default).
+DEFAULT_ARRAY_SIZE = 208
+
+
+@dataclass(frozen=True)
+class SimConfig:
+    """Everything a backend needs besides the network and the plan.
+
+    The first block describes the machine; the second block describes the
+    run; the trailing fields are tier-specific knobs that other tiers
+    ignore (documented per backend in ``docs/SIMULATORS.md``).
+    """
+
+    chip: ChipConfig = field(default_factory=ChipConfig)
+    params: TimingParams = field(default_factory=TimingParams)
+    capacity: CapacityModel = field(default_factory=CapacityModel)
+    array_size: int = DEFAULT_ARRAY_SIZE
+
+    strategy: str = "heuristic"
+    batch: int = 1
+
+    #: ``event`` tier: "eager" forwards the ifmap vector as soon as the
+    #: StoreRow.RC could issue; "after_compute" follows Algorithm 1
+    #: literally (forward after the MAC block).
+    forward_policy: str = "eager"
+    #: ``cycle`` tier: run every MAC on the modeled SRAM bit-lines
+    #: (very slow; ``False`` keeps the same data movement with NumPy
+    #: dot products — still bit-exact).
+    bit_true: bool = False
+    #: ``cycle`` tier: seed for the synthesized int8 weights/ifmaps the
+    #: numerics check executes.
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.array_size < 2:
+            raise ConfigurationError(
+                f"array_size must be >= 2 (one DC + one computing core), "
+                f"got {self.array_size}"
+            )
+        if self.batch < 1:
+            raise ConfigurationError(f"batch must be >= 1, got {self.batch}")
+        if self.forward_policy not in ("eager", "after_compute"):
+            raise ConfigurationError(
+                f"unknown forward policy {self.forward_policy!r}"
+            )
+
+    def with_run(
+        self,
+        *,
+        strategy: Optional[str] = None,
+        batch: Optional[int] = None,
+    ) -> "SimConfig":
+        """A copy of this machine description with new run parameters."""
+        return replace(
+            self,
+            strategy=self.strategy if strategy is None else strategy,
+            batch=self.batch if batch is None else batch,
+        )

@@ -1,0 +1,211 @@
+"""The canonical result schema every simulation backend returns.
+
+Before the backend layer existed the five tiers each had their own result
+shape (``NetworkRunResult`` from the chip simulator, ``SegmentResult``
+from the tandem-queue tier, ``EventSegmentResult`` from the event tier,
+raw stats objects from the functional tiers).  :class:`RunReport` and
+:class:`SegmentReport` subsume all of them:
+
+* ``RunReport`` carries everything ``NetworkRunResult`` did (plan, op
+  counts, energy, the latency/throughput/power derivations) plus the name
+  of the backend that produced it.  ``repro.core.simulator`` aliases
+  ``NetworkRunResult = RunReport`` so existing call sites keep working.
+* ``SegmentReport`` carries everything ``SegmentRun`` did (segment,
+  timings, filter-load and staging cycles) plus the per-layer flow view
+  (:class:`LayerReport`, subsuming ``LayerFlow``), the event tier's
+  ``events_processed``, and the cycle tier's numerics evidence.
+
+All fields are simulation-derived and deterministic; :meth:`RunReport.as_dict`
+produces a JSON-safe summary whose serialization is byte-stable across
+identical runs (CI diffs it).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.core.perfmodel import LayerTiming
+from repro.core.streaming import SegmentResult
+from repro.energy.constants import ChipConstants
+from repro.energy.power import EnergyBreakdown, OpCounts
+from repro.errors import MappingError
+from repro.mapping.segmentation import Segment, SegmentPlan
+from repro.nn.workloads import NetworkSpec
+
+
+@dataclass
+class LayerReport:
+    """One layer's observed (or modeled) flow through its node group."""
+
+    index: int
+    name: str
+    computing_nodes: int
+    iterations: int
+    interval_work: float     # per-iteration busy time from the Eq. (1) model
+    start: float             # first vector available at the layer's DC
+    finish: float            # last vector cleared the whole chain
+    total_wait: float = 0.0  # cycles the station idled waiting for input
+
+    @property
+    def observed_interval(self) -> float:
+        return (self.finish - self.start) / max(1, self.iterations)
+
+    @property
+    def mean_wait(self) -> float:
+        return self.total_wait / max(1, self.iterations)
+
+    def as_dict(self) -> Dict[str, float]:
+        return {
+            "index": self.index,
+            "name": self.name,
+            "computing_nodes": self.computing_nodes,
+            "iterations": self.iterations,
+            "interval_work": self.interval_work,
+            "start": self.start,
+            "finish": self.finish,
+            "total_wait": self.total_wait,
+        }
+
+
+@dataclass
+class SegmentReport:
+    """One mapped segment's simulated execution (any backend).
+
+    Subsumes the historical ``SegmentRun``: ``segment``, ``timings``,
+    ``filter_load_cycles``, ``staging_cycles`` and the ``cycles`` property
+    are unchanged; ``compute_cycles`` generalizes what used to be
+    ``result.total_cycles`` so the total no longer requires the
+    streaming-tier result object.
+    """
+
+    segment: Segment
+    timings: List[LayerTiming]
+    compute_cycles: float
+    filter_load_cycles: float
+    staging_cycles: float
+    layers: List[LayerReport] = field(default_factory=list)
+    #: Bottleneck station's busy time — the per-sample interval extra
+    #: batch samples stream at.
+    steady_interval: float = 0.0
+    #: Streaming tier only: the tandem-queue result with per-layer flows
+    #: (kept for the Fig. 9 breakdown path).
+    result: Optional[SegmentResult] = None
+    #: Event tier only: events the discrete-event kernel processed.
+    events_processed: Optional[int] = None
+    #: Cycle tier only: MACs actually executed by the functional groups.
+    functional_macs: Optional[int] = None
+    #: Cycle tier only: checksum of the executed ofmap accumulators.
+    checksum: Optional[int] = None
+    #: Cycle tier only: every executed layer matched the quantized
+    #: reference bit-for-bit (the backend raises otherwise, so a
+    #: returned report always says ``True``).
+    numerics_verified: Optional[bool] = None
+
+    @property
+    def cycles(self) -> float:
+        return self.compute_cycles + self.filter_load_cycles + self.staging_cycles
+
+    def layer_report(self, layer_index: int) -> LayerReport:
+        for layer in self.layers:
+            if layer.index == layer_index:
+                return layer
+        raise MappingError(f"layer {layer_index} not in this segment report")
+
+    def as_dict(self) -> Dict[str, object]:
+        out: Dict[str, object] = {
+            "layers": [layer.as_dict() for layer in self.layers],
+            "layer_indices": [spec.index for spec in self.segment.layers],
+            "total_nodes": self.segment.total_nodes,
+            "compute_cycles": self.compute_cycles,
+            "filter_load_cycles": self.filter_load_cycles,
+            "staging_cycles": self.staging_cycles,
+            "steady_interval": self.steady_interval,
+            "cycles": self.cycles,
+        }
+        if self.events_processed is not None:
+            out["events_processed"] = self.events_processed
+        if self.functional_macs is not None:
+            out["functional_macs"] = self.functional_macs
+        if self.checksum is not None:
+            out["checksum"] = self.checksum
+        if self.numerics_verified is not None:
+            out["numerics_verified"] = self.numerics_verified
+        return out
+
+
+@dataclass
+class RunReport:
+    """Everything one network run produced, whatever the backend.
+
+    Field-compatible superset of the historical ``NetworkRunResult``
+    (which is now an alias of this class): ``runs`` keeps its name so the
+    experiment drivers and serving stack read segments the same way.
+    """
+
+    network: NetworkSpec
+    strategy: str
+    plan: SegmentPlan
+    runs: List[SegmentReport]
+    total_cycles: float
+    ops: OpCounts
+    energy: EnergyBreakdown
+    constants: ChipConstants
+    batch: int = 1
+    backend: str = "streaming"
+
+    @property
+    def segments(self) -> List[SegmentReport]:
+        """Alias of ``runs`` under the canonical name."""
+        return self.runs
+
+    @property
+    def latency_ms(self) -> float:
+        """Whole-run latency (all ``batch`` samples)."""
+        return self.total_cycles * self.constants.cycle_seconds * 1e3
+
+    @property
+    def throughput_samples_s(self) -> float:
+        return self.batch * 1000.0 / self.latency_ms
+
+    @property
+    def average_power_w(self) -> float:
+        seconds = self.total_cycles * self.constants.cycle_seconds
+        return self.energy.total / seconds
+
+    @property
+    def throughput_per_watt(self) -> float:
+        return self.throughput_samples_s / self.average_power_w
+
+    def gops_per_watt(self, *, include_dram: bool = True) -> float:
+        """Computational efficiency in GOPS/W (1 MAC = 2 ops).
+
+        The paper's Neural-Cache comparison excludes DRAM power
+        (Sec. 6.3); pass ``include_dram=False`` to match.
+        """
+        seconds = self.total_cycles * self.constants.cycle_seconds
+        ops = 2.0 * self.batch * self.network.total_macs / seconds
+        energy = self.energy.total if include_dram else self.energy.total - self.energy.dram
+        return ops / (energy / seconds) / 1e9
+
+    def nodes_of(self, layer_index: int) -> int:
+        return self.plan.nodes_of(layer_index)
+
+    def segment_latency_ms(self, layer_index: int) -> float:
+        for run in self.runs:
+            if layer_index in run.segment.allocation.nodes:
+                return run.cycles * self.constants.cycle_seconds * 1e3
+        raise MappingError(f"layer {layer_index} not in any segment run")
+
+    def as_dict(self) -> Dict[str, object]:
+        """Deterministic JSON-safe summary (scripts and CI diff this)."""
+        return {
+            "backend": self.backend,
+            "network": self.network.name,
+            "strategy": self.strategy,
+            "batch": self.batch,
+            "total_cycles": self.total_cycles,
+            "latency_ms": self.latency_ms,
+            "energy_j": self.energy.total,
+            "segments": [run.as_dict() for run in self.runs],
+        }

@@ -3,7 +3,11 @@
 import pytest
 
 from repro.core.perfmodel import PerformanceModel
-from repro.core.streaming import SegmentSimulator
+from repro.core.streaming import (
+    SegmentSimulator,
+    _completion_source_index,
+    completion_source_index,
+)
 from repro.errors import SimulationError
 from repro.nn.workloads import ConvLayerSpec, resnet18_spec
 
@@ -102,3 +106,54 @@ class TestBreakdown:
         few = chain(model, (conv(9, h=28, c=128, m=128), 13)).core_breakdown(9)
         many = chain(model, (conv(9, h=28, c=128, m=128), 60)).core_breakdown(9)
         assert many.compute < few.compute
+
+
+class TestCompletionSourceIndex:
+    """The public producer->consumer dependence helper (both streaming
+    tiers key on it; see repro.sim.xcheck)."""
+
+    def test_interior_pixel_needs_bottom_right_of_window(self):
+        # 3x3 window, stride 1, padding 1 on a 4x4 ifmap: ofmap (1, 1)
+        # reads ifmap rows/cols 0..2, so vector (2, 2) completes it.
+        producer = conv(1, h=4, c=8, m=8)
+        assert completion_source_index(producer, 1, 1) == 2 * 4 + 2
+
+    def test_padding_clamps_to_the_ifmap_edge(self):
+        # The (3, 3) window hangs past the ifmap; the last *real* vector
+        # is the corner (3, 3), not the padded phantom (4, 4).
+        producer = conv(1, h=4, c=8, m=8)
+        assert completion_source_index(producer, 3, 3) == 3 * 4 + 3
+
+    def test_top_left_pixel_with_padding(self):
+        # ofmap (0, 0) only needs ifmap up to (1, 1): the padded part of
+        # its window contributes nothing.
+        producer = conv(1, h=4, c=8, m=8)
+        assert completion_source_index(producer, 0, 0) == 1 * 4 + 1
+
+    def test_stride_advances_the_window(self):
+        producer = conv(1, h=8, c=8, m=8, r=2, s=2, stride=2, padding=0)
+        assert completion_source_index(producer, 0, 0) == 1 * 8 + 1
+        assert completion_source_index(producer, 1, 1) == 3 * 8 + 3
+
+    def test_pointwise_conv_is_the_identity_on_raster_rank(self):
+        producer = conv(1, h=6, c=8, m=8, r=1, s=1, stride=1, padding=0)
+        for oy in range(6):
+            for ox in range(6):
+                assert completion_source_index(producer, oy, ox) == oy * 6 + ox
+
+    def test_monotonic_in_raster_order(self):
+        # Later ofmap pixels never depend on earlier ifmap vectors than
+        # their predecessors: arrival rank is non-decreasing in raster
+        # order, which is what lets the tiers stream without reordering.
+        producer = conv(1, h=14, c=16, m=16, r=3, s=3, stride=2, padding=1)
+        oh, ow = producer.ofmap_hw
+        ranks = [
+            completion_source_index(producer, oy, ox)
+            for oy in range(oh)
+            for ox in range(ow)
+        ]
+        assert ranks == sorted(ranks)
+        assert max(ranks) <= producer.h * producer.w - 1
+
+    def test_private_alias_kept_for_back_compat(self):
+        assert _completion_source_index is completion_source_index

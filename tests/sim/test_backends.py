@@ -1,0 +1,93 @@
+"""Backend parity matrix: every tier, multiple strategies, one contract.
+
+The matrix runs the same network through all four registered backends
+under both the default mapping strategy and a non-default one, and holds
+each tier to the cross-check envelope against the streaming reference.
+Tier-specific evidence (event counts, cycle-tier numerics) is asserted
+where the tier produces it.
+"""
+
+import pytest
+
+from repro.nn.workloads import small_cnn_spec
+from repro.sim import DEFAULT_ENVELOPE, SimConfig, available_backends, simulate
+
+STRATEGIES = ("heuristic", "greedy")
+
+
+@pytest.fixture(scope="module")
+def reference():
+    return {
+        strategy: simulate(small_cnn_spec(), strategy=strategy)
+        for strategy in STRATEGIES
+    }
+
+
+@pytest.mark.parametrize("strategy", STRATEGIES)
+@pytest.mark.parametrize("backend", sorted(available_backends()))
+class TestParityMatrix:
+    def test_tier_agrees_with_streaming(self, backend, strategy, reference):
+        report = simulate(small_cnn_spec(), backend=backend, strategy=strategy)
+        assert report.backend == backend
+        assert report.strategy == strategy
+        ref = reference[strategy]
+        # Identical plan: the tiers are differenced on the same mapping.
+        assert [r.segment.total_nodes for r in report.runs] == [
+            r.segment.total_nodes for r in ref.runs
+        ]
+        lo, hi = DEFAULT_ENVELOPE.get(backend, (1.0, 1.0))
+        ratio = report.total_cycles / ref.total_cycles
+        assert lo <= ratio <= hi, f"{backend}/{strategy}: ratio {ratio:.4f}"
+
+    def test_charges_are_positive_and_complete(self, backend, strategy):
+        report = simulate(small_cnn_spec(), backend=backend, strategy=strategy)
+        assert report.total_cycles > 0
+        assert report.energy.total > 0
+        for run in report.runs:
+            assert run.compute_cycles > 0
+            assert run.steady_interval > 0
+
+
+class TestTierEvidence:
+    def test_event_tier_reports_event_counts(self):
+        report = simulate(small_cnn_spec(), backend="event")
+        assert all(run.events_processed > 0 for run in report.runs)
+
+    def test_cycle_tier_verifies_numerics(self):
+        report = simulate(small_cnn_spec(), backend="cycle")
+        for run in report.runs:
+            assert run.numerics_verified is True
+            assert run.functional_macs > 0
+            assert run.checksum is not None
+
+    def test_cycle_tier_checksum_is_seed_stable(self):
+        a = simulate(small_cnn_spec(), backend="cycle")
+        b = simulate(small_cnn_spec(), backend="cycle")
+        assert [r.checksum for r in a.runs] == [r.checksum for r in b.runs]
+        c = simulate(
+            small_cnn_spec(), backend="cycle", config=SimConfig(seed=1)
+        )
+        assert [r.checksum for r in c.runs] != [r.checksum for r in a.runs]
+
+    def test_analytic_matches_streaming_on_single_layer_segments(self):
+        # With one layer per segment there is no pipelining for the
+        # closed form to miss — the two tiers must coincide exactly.
+        analytic = simulate(
+            small_cnn_spec(), backend="analytic", strategy="single-layer"
+        )
+        streaming = simulate(
+            small_cnn_spec(), backend="streaming", strategy="single-layer"
+        )
+        assert analytic.total_cycles == streaming.total_cycles
+
+
+class TestBatchSemantics:
+    @pytest.mark.parametrize("backend", sorted(available_backends()))
+    def test_extra_samples_ride_the_steady_pipeline(self, backend):
+        one = simulate(small_cnn_spec(), backend=backend, batch=1)
+        four = simulate(small_cnn_spec(), backend=backend, batch=4)
+        fills = sum(run.steady_interval for run in one.runs)
+        stagings = sum(run.staging_cycles for run in one.runs)
+        assert four.total_cycles == pytest.approx(
+            one.total_cycles + 3 * (fills + stagings)
+        )
