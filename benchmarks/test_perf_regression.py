@@ -105,3 +105,46 @@ def test_null_sink_keeps_fast_path_speedup():
         f"fast path only {speedup:.1f}x with the default NullSink "
         f"(floor {SPEEDUP_FLOOR}x) — telemetry is taxing the disabled path"
     )
+
+
+def test_event_tier_stays_vectorized_under_null_sink():
+    """The event backend's NullSink run must take the vectorized engine.
+
+    The vectorized event engine only engages when telemetry is disabled
+    (an enabled sink needs one span per event, so those runs fall back
+    to the per-event reference engine).  This guard pins two things on
+    the small CNN: (a) the default ambient sink really is the disabled
+    NullSink, and (b) the vectorized run matches the reference engine's
+    cycles exactly while beating a conservative wall-clock ceiling.
+    A regression that silently reroutes the default path through the
+    reference engine shows up as a blown ceiling; one that breaks the
+    engine's exactness shows up as a cycle mismatch.
+    """
+    import time
+
+    from repro import telemetry
+    from repro.nn.workloads import small_cnn_spec
+    from repro.sim import SimConfig, simulate
+
+    assert telemetry.current() is telemetry.NULL_SINK
+
+    network = small_cnn_spec()
+    simulate(network, backend="event")  # warm import/mapping caches
+    t0 = time.perf_counter()
+    vectorized = simulate(network, backend="event")
+    wall = time.perf_counter() - t0
+    reference = simulate(
+        network,
+        backend="event",
+        config=SimConfig(event_engine="reference"),
+    )
+
+    assert vectorized.total_cycles == reference.total_cycles
+    # ~1 ms on the reference machine; the reference engine costs several
+    # times more, and an accidental per-event fallback costs ~10x.
+    ceiling_s = 0.5
+    assert wall < ceiling_s, (
+        f"event tier took {wall:.3f}s on the small CNN under NullSink "
+        f"(ceiling {ceiling_s}s) — did the vectorized engine fall back "
+        f"to per-event dispatch?"
+    )

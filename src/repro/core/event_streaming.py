@@ -13,19 +13,48 @@ own actor on the discrete-event kernel, serving two purposes:
   permit forwarding *eagerly* (StoreRow.RC only reads slice 0).  The
   policies differ exactly by the chain-fill term, which dominates the
   single-layer strategy's long chains.
+
+Two engines produce byte-identical results:
+
+* **vectorized** (default) — one batched :class:`~repro.utils.events.EventQueue`
+  event per layer whose handler advances *all* of the layer's
+  (core, vector) hops with NumPy scans.  The per-event heap is collapsed
+  into per-station recurrences; see :func:`_station_scan` for why the
+  float evaluation order (and hence every timestamp) is unchanged.
+* **reference** — the historical per-event engine: one heap callback per
+  (core, vector) hop.  Kept as the differential oracle
+  (``tests/core/test_event_vectorized.py`` pins the two equal) and as the
+  fallback for degenerate timings (zero-cycle stations) where heap
+  tie-breaking is the only defined order.
+
+Why the decomposition is exact: layers share no stations — a layer's DC
+and chain cores are touched only by that layer's events — so the global
+heap interleaving across layers cannot affect any timestamp.  Within a
+layer, every station serves vectors in (arrival time, schedule seq)
+order; with strictly positive per-vector service times the chain
+preserves strict arrival order, so the heap's dispatch order is exactly
+reproduced by a stable sort on (arrival, enqueue rank), where the
+enqueue rank of a consumer vector is (producer's service position of its
+source vector, consumer vector index) — the order ``chain_complete``
+walks the waiter lists.
 """
 
 from __future__ import annotations
 
 import math
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
 
 from repro.core.perfmodel import LayerTiming
 from repro.core.streaming import completion_source_index
 from repro.errors import SimulationError
 from repro.nn.workloads import ConvLayerSpec
 from repro.utils.events import EventQueue
+
+#: Engine selection values accepted by :class:`EventDrivenSegmentSimulator`.
+ENGINES = ("auto", "vectorized", "reference")
 
 
 @dataclass
@@ -35,28 +64,239 @@ class EventSegmentResult:
     total_cycles: float
     layer_finish: Dict[int, float] = field(default_factory=dict)
     events_processed: int = 0
+    #: Back-to-back request streams simulated (weight-stationary batching).
+    requests: int = 1
+
+
+def _consumer_wiring(
+    timings: Sequence[LayerTiming],
+) -> Tuple[List[Optional[int]], List[Optional[List[int]]]]:
+    """Producer index and per-vector source mapping of every layer.
+
+    Shared by both engines so their dependence bookkeeping cannot drift:
+    ``producer_of[li]`` is the nearest preceding layer whose ofmap
+    geometry matches layer ``li``'s ifmap, and ``sources[li][v]`` is the
+    producer vector whose chain completion makes consumer vector ``v``
+    available (see :func:`repro.core.streaming.completion_source_index`).
+    """
+    n_layers = len(timings)
+    producer_of: List[Optional[int]] = [None] * n_layers
+    consumer_sources: List[Optional[List[int]]] = [None] * n_layers
+    for li, lt in enumerate(timings):
+        spec = lt.spec
+        for pj in range(li - 1, -1, -1):
+            if timings[pj].spec.ofmap_hw == (spec.h, spec.w):
+                producer_of[li] = pj
+                break
+        if producer_of[li] is not None:
+            prev_spec = timings[producer_of[li]].spec
+            oh, ow = prev_spec.ofmap_hw
+            step = int(round(math.sqrt(oh * ow / lt.iterations))) or 1
+            sources = []
+            for oy in range(0, oh, step):
+                for ox in range(0, ow, step):
+                    if len(sources) >= lt.iterations:
+                        break
+                    src = completion_source_index(prev_spec, oy, ox)
+                    sources.append(
+                        min(src, timings[producer_of[li]].iterations - 1)
+                    )
+            while len(sources) < lt.iterations:
+                sources.append(sources[-1] if sources else 0)
+            consumer_sources[li] = sources
+    return producer_of, consumer_sources
+
+
+def _station_scan(arrivals: np.ndarray, service: float) -> np.ndarray:
+    """Service-start times of a FIFO station with a fixed per-vector cost.
+
+    Computes ``start[v] = max(arrivals[v], start[v-1] + service)`` — the
+    exact recurrence each per-event callback evaluated — with a
+    vectorized fast path: when every gap ``arrivals[v] - arrivals[v-1]``
+    covers the service time, the station never queues and ``start`` is
+    just ``arrivals``.  The gap test uses the same IEEE add/compare the
+    scalar recurrence would (induction: ``start[v-1] == arrivals[v-1]``
+    and ``arrivals[v] >= arrivals[v-1] + service`` make the ``max`` pick
+    ``arrivals[v]``), so the returned floats are bit-identical to the
+    serial scan whichever path runs.
+    """
+    n = len(arrivals)
+    if n <= 1 or bool(np.all(arrivals[1:] >= arrivals[:-1] + service)):
+        return arrivals
+    starts = arrivals.tolist()  # scalar float loop beats ndarray indexing
+    busy = -math.inf
+    for v, a in enumerate(starts):
+        if busy > a:
+            starts[v] = busy
+            busy += service
+        else:
+            busy = a + service
+    return np.asarray(starts)
 
 
 class EventDrivenSegmentSimulator:
-    """Per-core, per-vector discrete-event simulation of one segment."""
+    """Per-core, per-vector discrete-event simulation of one segment.
+
+    ``requests`` streams that many back-to-back input samples through the
+    same stationary weights (weight-stationary request batching): every
+    layer processes ``requests * iterations`` vectors, with request ``r``'s
+    consumer vectors depending on request ``r``'s producer vectors.  The
+    default ``requests=1`` path is byte-identical to the historical
+    single-request engine.
+    """
 
     def __init__(
         self,
         timings: Sequence[LayerTiming],
         *,
         forward_policy: str = "eager",
+        requests: int = 1,
+        engine: str = "auto",
     ) -> None:
         if not timings:
             raise SimulationError("empty segment")
         if forward_policy not in ("eager", "after_compute"):
             raise SimulationError(f"unknown forward policy {forward_policy!r}")
+        if requests < 1:
+            raise SimulationError(f"requests must be >= 1, got {requests}")
+        if engine not in ENGINES:
+            raise SimulationError(
+                f"unknown engine {engine!r}; choose from {ENGINES}"
+            )
         self.timings = list(timings)
         self.forward_policy = forward_policy
+        self.requests = requests
+        self.engine = engine
+
+    # -- engine selection ------------------------------------------------------
+
+    def _vectorizable(self) -> bool:
+        """True when strict service ordering makes the sort-based engine
+        provably equal to heap dispatch (see module docstring)."""
+        for lt in self.timings:
+            if lt.dc.total <= 0.0:
+                return False
+            if lt.computing_nodes and lt.iteration.total <= 0.0:
+                return False
+        return True
 
     def run(self) -> EventSegmentResult:
+        if self.engine == "reference":
+            return self.run_reference()
+        if self.engine == "vectorized" or self._vectorizable():
+            return self.run_vectorized()
+        return self.run_reference()
+
+    # -- vectorized engine -----------------------------------------------------
+
+    def run_vectorized(self) -> EventSegmentResult:
+        """Batched engine: one queue event per layer, NumPy per-vector math."""
+        timings = self.timings
+        n_layers = len(timings)
+        requests = self.requests
+        hop = timings[0].fill_per_hop
+        eager = self.forward_policy == "eager"
+
+        producer_of, consumer_sources = _consumer_wiring(timings)
+        consumers_of: List[List[int]] = [[] for _ in timings]
+        for li, pj in enumerate(producer_of):
+            if pj is not None:
+                consumers_of[pj].append(li)
+
+        # Per-layer outputs, indexed by vector id (request-major).
+        chain_done: List[Optional[np.ndarray]] = [None] * n_layers
+        # Service position of each producer vector at its DC — the seq
+        # component of the heap order consumers inherit.
+        dc_position: List[Optional[np.ndarray]] = [None] * n_layers
+        finish = [0.0] * n_layers
+        vector_events = 0
+
+        def process_layer(li: int) -> None:
+            """Vectorized handler: every (core, vector) hop of one layer."""
+            nonlocal vector_events
+            lt = timings[li]
+            per_request = lt.iterations
+            total = per_request * requests
+            pj = producer_of[li]
+            if pj is None:
+                # Source layer: all vectors stream from DRAM at t=0 and
+                # enter the DC heap in (request, vector) order.
+                arrivals = np.zeros(total)
+                order = np.arange(total)
+            else:
+                src = np.asarray(consumer_sources[li], dtype=np.intp)
+                if requests > 1:
+                    prod_per_request = timings[pj].iterations
+                    offs = np.arange(requests, dtype=np.intp) * prod_per_request
+                    src = (src[None, :] + offs[:, None]).reshape(-1)
+                prod_done = chain_done[pj]
+                assert prod_done is not None and dc_position[pj] is not None
+                # Same float op the per-event engine applied per waiter.
+                arrivals = prod_done[src] + hop
+                # Heap order among same-time arrivals: producers complete
+                # their chains in DC-service order, and each completion
+                # enqueues its waiters in consumer-vector order.
+                enqueue = np.argsort(dc_position[pj][src], kind="stable")
+                order = enqueue[np.argsort(arrivals[enqueue], kind="stable")]
+            # DC: a serial FIFO station over the heap-ordered arrivals.
+            dc_start = _station_scan(arrivals[order], lt.dc.total)
+            dc_done = dc_start + lt.dc.total
+            nodes = lt.computing_nodes
+            if nodes:
+                t_iter = lt.iteration.total
+                t_forward = lt.iteration.t_forward
+                incoming = dc_done + hop
+                for k in range(nodes):
+                    starts = _station_scan(incoming, t_iter)
+                    if k + 1 < nodes:
+                        forward = starts + (t_forward if eager else t_iter)
+                        incoming = forward + hop
+                layer_done = starts + t_iter
+            else:
+                layer_done = dc_done
+            # Map service order back to vector ids.
+            by_vector = np.empty(total)
+            by_vector[order] = layer_done
+            position = np.empty(total, dtype=np.intp)
+            position[order] = np.arange(total, dtype=np.intp)
+            chain_done[li] = by_vector
+            dc_position[li] = position
+            finish[li] = float(np.max(layer_done))
+            vector_events += total * (1 + nodes)
+            # Ready consumers ride the batched queue: each gets one event
+            # at its first-arrival time, whose handler is fully vectorized.
+            for cl in consumers_of[li]:
+                first = float(np.min(layer_done)) + hop
+                queue.schedule(
+                    max(first, queue.now),
+                    lambda cl=cl: process_layer(cl),
+                    tag="layer-batch",
+                )
+
+        # One queue event per layer; source layers drain together from the
+        # t=0 same-timestamp batch.
+        queue = EventQueue()
+        for li, pj in enumerate(producer_of):
+            if pj is None:
+                queue.schedule(0.0, lambda li=li: process_layer(li), tag="layer-batch")
+        queue.run(batched=True)
+        return EventSegmentResult(
+            total_cycles=max(finish),
+            layer_finish={
+                lt.spec.index: finish[li] for li, lt in enumerate(timings)
+            },
+            events_processed=vector_events,
+            requests=requests,
+        )
+
+    # -- reference engine ------------------------------------------------------
+
+    def run_reference(self) -> EventSegmentResult:
+        """The historical per-event engine: one heap callback per hop."""
         queue = EventQueue()
         timings = self.timings
         n_layers = len(timings)
+        requests = self.requests
 
         # Per-layer mutable state.
         dc_free = [0.0] * n_layers
@@ -64,40 +304,26 @@ class EventDrivenSegmentSimulator:
         chain_done: List[Dict[int, float]] = [dict() for _ in timings]
         finish = [0.0] * n_layers
 
-        # Consumer wiring: consumer vector index -> producer vector index.
-        producer_of = [None] * n_layers
-        consumer_sources: List[Optional[List[int]]] = [None] * n_layers
-        history: List[ConvLayerSpec] = []
-        for li, lt in enumerate(timings):
-            spec = lt.spec
-            for pj in range(li - 1, -1, -1):
-                if timings[pj].spec.ofmap_hw == (spec.h, spec.w):
-                    producer_of[li] = pj
-                    break
-            if producer_of[li] is not None:
-                prev_spec = timings[producer_of[li]].spec
-                oh, ow = prev_spec.ofmap_hw
-                step = int(round(math.sqrt(oh * ow / lt.iterations))) or 1
-                sources = []
-                for oy in range(0, oh, step):
-                    for ox in range(0, ow, step):
-                        if len(sources) >= lt.iterations:
-                            break
-                        src = completion_source_index(prev_spec, oy, ox)
-                        sources.append(min(src, timings[producer_of[li]].iterations - 1))
-                while len(sources) < lt.iterations:
-                    sources.append(sources[-1] if sources else 0)
-                consumer_sources[li] = sources
-            history.append(spec)
+        producer_of, consumer_sources = _consumer_wiring(timings)
+        totals = [lt.iterations * requests for lt in timings]
 
-        # Reverse index: producer layer -> {producer vector: [consumer vectors]}.
-        waiters: List[Dict[int, List[int]]] = [dict() for _ in timings]
+        # Reverse index: producer layer -> {producer vector: [consumer vectors]}
+        # with vector ids request-major, mirroring the vectorized engine.
+        waiters: List[Dict[int, List[Tuple[int, int]]]] = [
+            dict() for _ in timings
+        ]
         for li, sources in enumerate(consumer_sources):
             if sources is None:
                 continue
             pj = producer_of[li]
-            for v, src in enumerate(sources):
-                waiters[pj].setdefault(src, []).append((li, v))
+            assert pj is not None
+            prod_per_request = timings[pj].iterations
+            per_request = timings[li].iterations
+            for r in range(requests):
+                for v, src in enumerate(sources):
+                    waiters[pj].setdefault(r * prod_per_request + src, []).append(
+                        (li, r * per_request + v)
+                    )
 
         hop = timings[0].fill_per_hop
 
@@ -124,7 +350,8 @@ class EventDrivenSegmentSimulator:
             finish[li] = max(finish[li], t)
             for (cl, cv) in waiters[li].get(v, ()):
                 queue.schedule(
-                    max(t + hop, queue.now), lambda cl=cl, cv=cv, t=t: dc_receive(cl, cv, t + hop)
+                    max(t + hop, queue.now),
+                    lambda cl=cl, cv=cv, t=t: dc_receive(cl, cv, t + hop),
                 )
 
         def dc_receive(li: int, v: int, t: float) -> None:
@@ -133,26 +360,32 @@ class EventDrivenSegmentSimulator:
             done = start + lt.dc.total
             dc_free[li] = done
             if lt.computing_nodes:
-                queue.schedule(max(done + hop, queue.now),
-                               lambda: core_receive(li, 0, v, done + hop))
+                queue.schedule(
+                    max(done + hop, queue.now),
+                    lambda: core_receive(li, 0, v, done + hop),
+                )
             else:
                 chain_complete(li, v, done)
 
-        # Source layers (no in-segment producer) stream from DRAM at t=0.
+        # Source layers (no in-segment producer) stream from DRAM at t=0,
+        # request-major so batched requests follow each other back to back.
         for li, lt in enumerate(timings):
             if producer_of[li] is None:
-                for v in range(lt.iterations):
+                for v in range(totals[li]):
                     queue.schedule(0.0, lambda li=li, v=v: dc_receive(li, v, 0.0))
 
         queue.run()
         for li, lt in enumerate(timings):
-            if len(chain_done[li]) != lt.iterations:
+            if len(chain_done[li]) != totals[li]:
                 raise SimulationError(
                     f"layer {lt.spec.name}: only {len(chain_done[li])} of "
-                    f"{lt.iterations} vectors completed (deadlock?)"
+                    f"{totals[li]} vectors completed (deadlock?)"
                 )
         return EventSegmentResult(
             total_cycles=max(finish),
-            layer_finish={lt.spec.index: finish[li] for li, lt in enumerate(timings)},
+            layer_finish={
+                lt.spec.index: finish[li] for li, lt in enumerate(timings)
+            },
             events_processed=queue.processed,
+            requests=requests,
         )

@@ -138,6 +138,7 @@ class MultiDNNScheduler:
         strategy: str = "heuristic",
         *,
         backend: Optional[str] = None,
+        batch_requests: int = 1,
     ) -> NetworkRunResult:
         """Run one model inside a ``cores``-sized slice of the array.
 
@@ -147,7 +148,9 @@ class MultiDNNScheduler:
         static partition and an elastic partition of the same size agree
         bit-for-bit.  ``backend`` overrides the scheduler's tier for this
         call only (the elastic policy estimates resize decisions on the
-        cheap ``analytic`` tier this way).
+        cheap ``analytic`` tier this way); ``batch_requests`` streams a
+        weight-stationary request batch through the partition
+        (``SimConfig.batch_requests``).
         """
         config = SimConfig(
             chip=self.simulator.chip,
@@ -155,6 +158,7 @@ class MultiDNNScheduler:
             capacity=self.capacity,
             array_size=cores,
             strategy=strategy,
+            batch_requests=batch_requests,
         )
         return simulate(network, backend=backend or self.backend, config=config)
 

@@ -28,6 +28,7 @@ from repro.nn.workloads import ConvLayerSpec
 from repro.riscv.core import Core, CoreConfig
 from repro.riscv.isa import Instruction
 from repro.riscv.pipeline import PipelineConfig, PipelineStats
+from repro.riscv.replay import ReplayCache
 from repro.telemetry import TelemetrySink, current as _current_telemetry
 from repro.utils.bitops import to_twos_complement
 
@@ -123,6 +124,7 @@ class MAICCNode:
         requant: Optional[RequantParams] = None,
         include_forward: bool = False,
         fast_path: bool = True,
+        replay: bool = True,
         telemetry: Optional[TelemetrySink] = None,
         node_id: int = 0,
     ) -> None:
@@ -148,6 +150,14 @@ class MAICCNode:
         self._plan: Optional[KernelPlan] = None
         self._program: Optional[List[Instruction]] = None
         self._program_static: Optional[List[Instruction]] = None
+        #: Memoized pipeline timing for repeated runs of the (cached)
+        #: kernel: eligible only when the static predictor proves the
+        #: timing data-independent and the first measured run confirms
+        #: it (see :mod:`repro.riscv.replay`).  ``replay=False`` forces
+        #: full interpretation on every run.
+        self.replay_cache: Optional[ReplayCache] = (
+            ReplayCache() if replay else None
+        )
 
     # -- program construction -------------------------------------------------
 
@@ -201,7 +211,11 @@ class MAICCNode:
         load_filters_into_cmem(core.cmem, self.layout, self.weights)
         for s in self.layout.slices_used:
             core.cmem.slice(s).csr_mask = self.layout.csr_mask
-        stats = core.run(program)
+        # A custom pipeline config changes the timing the cache verified
+        # against, so only the node's own config hits the replay cache
+        # (the cache also keys on config, but skip the lookup entirely).
+        cache = self.replay_cache if pipeline is None else None
+        stats = core.run(program, replay_cache=cache)
         plan = self.plan
         oh, ow = self.spec.ofmap_hw
         psums = np.zeros((self.spec.m, oh, ow), dtype=np.int64)

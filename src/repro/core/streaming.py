@@ -120,11 +120,21 @@ class SegmentSimulator:
         timings: Sequence[LayerTiming],
         *,
         first_from_dram: bool = True,
+        requests: int = 1,
     ) -> None:
         if not timings:
             raise SimulationError("empty segment")
+        if requests < 1:
+            raise SimulationError(f"requests must be >= 1, got {requests}")
         self.timings = list(timings)
         self.first_from_dram = first_from_dram
+        #: Weight-stationary request batching: stream this many request
+        #: copies back to back through the resident weights.  Vector ids
+        #: are request-major (request ``r``'s vector ``v`` is
+        #: ``r * iterations + v``); every station serves all requests
+        #: with no re-staging between them, so ``requests=1`` is the
+        #: historical single-sample run, bit for bit.
+        self.requests = requests
 
     def _find_producer(
         self,
@@ -146,42 +156,54 @@ class SegmentSimulator:
         result = SegmentResult(total_cycles=0.0)
         # (spec, per-vector chain-departure times) of every finished layer.
         history: List = []
+        requests = self.requests
         for lt in self.timings:
             spec = lt.spec
             iterations = lt.iterations
+            total = iterations * requests
             interval = lt.interval
             producer = self._find_producer(spec, history)
-            # Arrival times of this layer's vectors at its DC.
+            # Arrival times of this layer's vectors at its DC
+            # (request-major when streaming a request batch).
             if producer is None:
-                arrivals = np.zeros(iterations)
+                arrivals = np.zeros(total)
             else:
                 prev_spec, prev_departures = producer
+                prev_iterations = len(prev_departures) // requests
                 oh, ow = prev_spec.ofmap_hw
                 # Consumer vector v corresponds to producer ofmap pixel v
                 # (identical tensor raster); it departs the producer once
                 # the completing ifmap vector has cleared the whole chain.
-                arrivals = np.empty(iterations)
+                arrivals = np.empty(total)
                 # Consumers with stride-subsampled input (1x1 shortcuts)
                 # read a regular subgrid of the producer's ofmap.
                 step = int(round(math.sqrt(oh * ow / iterations))) or 1
-                v = 0
-                for oy in range(0, oh, step):
-                    for ox in range(0, ow, step):
-                        if v >= iterations:
-                            break
-                        src = completion_source_index(prev_spec, oy, ox)
-                        # Guard for producers that streamed a subgrid of
-                        # their ifmap (1x1 stride-2 shortcuts).
-                        src = min(src, len(prev_departures) - 1)
-                        arrivals[v] = prev_departures[src] + lt.fill_per_hop
-                        v += 1
-                if v < iterations:
-                    arrivals[v:] = arrivals[v - 1] if v else 0.0
-            # Tandem queue through this layer: DC + chain.
-            departures = np.empty(iterations)
+                for r in range(requests):
+                    base = r * iterations
+                    offset = r * prev_iterations
+                    v = 0
+                    for oy in range(0, oh, step):
+                        for ox in range(0, ow, step):
+                            if v >= iterations:
+                                break
+                            src = completion_source_index(prev_spec, oy, ox)
+                            # Guard for producers that streamed a subgrid
+                            # of their ifmap (1x1 stride-2 shortcuts).
+                            src = min(src, prev_iterations - 1)
+                            arrivals[base + v] = (
+                                prev_departures[offset + src] + lt.fill_per_hop
+                            )
+                            v += 1
+                    if v < iterations:
+                        arrivals[base + v:base + iterations] = (
+                            arrivals[base + v - 1] if v else 0.0
+                        )
+            # Tandem queue through this layer: DC + chain.  The station
+            # stays busy across request boundaries (weights resident).
+            departures = np.empty(total)
             t = 0.0
             wait = 0.0
-            for v in range(iterations):
+            for v in range(total):
                 ready = arrivals[v]
                 start = max(ready, t)
                 wait += max(0.0, ready - t)
@@ -191,7 +213,7 @@ class SegmentSimulator:
                 spec=spec,
                 start=float(arrivals[0]),
                 finish=float(departures[-1]),
-                iterations=iterations,
+                iterations=total,
                 total_wait=float(wait),
                 interval_work=interval,
             )

@@ -55,13 +55,15 @@ def simulate_segment_traffic(
     }
     for pos, spec in enumerate(segment.layers):
         chain = [placement.dc[spec.index]] + placement.computing[spec.index]
-        # Ifmap vector rows ripple down the chain.
+        # Ifmap vector rows ripple down the chain: one back-to-back
+        # stream per link, collapsed to O(hops) by ``send_stream``.
         t = 0
         for src, dst in zip(chain, chain[1:]):
-            for _ in range(n_bits * sub[spec.index]):
-                t = noc.send(
-                    Packet(src=src, dst=dst, kind=PacketKind.ROW_TRANSFER), t
-                )
+            t = noc.send_stream(
+                Packet(src=src, dst=dst, kind=PacketKind.ROW_TRANSFER),
+                t,
+                n_bits * sub[spec.index],
+            )
             completion = max(completion, t)
         # Finished ofmap values flow to the next layer's DC.
         if pos + 1 < len(segment.layers):

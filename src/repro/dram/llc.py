@@ -97,14 +97,19 @@ class LLCache:
         return latency
 
     def flush(self, time: int = 0) -> int:
-        """Write every dirty line back; returns the number of writebacks."""
+        """Write every dirty line back; returns the number of writebacks.
+
+        The writebacks issue as one batch to the DRAM controller — same
+        bank-state evolution as one access per dirty line, without a
+        controller round-trip each.
+        """
         count = 0
         for ways in self._sets.values():
             for tag, dirty in list(ways.items()):
                 if dirty:
                     count += 1
                     ways[tag] = False
-                    if self.dram is not None:
-                        self.dram.access_latency(0x8000_0000, True, time)
         self.stats.writebacks += count
+        if count and self.dram is not None:
+            self.dram.access_latency_batch([0x8000_0000] * count, True, time)
         return count

@@ -80,6 +80,18 @@ class ServingPolicy:
     def service_ms(self, tenant: str) -> float:
         return self._service_ms[tenant]
 
+    def batched_service_ms(self, tenant: str, count: int) -> float:
+        """Service time of ``count`` back-to-back requests of one tenant.
+
+        The base policy knows nothing about weight residency, so batching
+        buys nothing (``count * service_ms``).  Chip-model-backed policies
+        override this with a weight-stationary batched simulation, where
+        filter loads and staging amortize across the batch.
+        """
+        if count < 1:
+            raise SimulationError(f"batch count must be >= 1, got {count}")
+        return count * self.service_ms(tenant)
+
     def shares(self) -> Dict[str, int]:
         """Current cores per tenant (empty when the array is not split)."""
         return dict(self._shares)
@@ -99,13 +111,24 @@ class StaticPartitionPolicy(ServingPolicy):
     def __init__(self, scheduler: Optional[MultiDNNScheduler] = None) -> None:
         super().__init__()
         self.scheduler = scheduler or MultiDNNScheduler()
+        self._networks: Dict[str, object] = {}
 
     def prepare(self, tenants: Sequence[TenantSpec]) -> None:
         run = self.scheduler.run([t.network for t in tenants])
+        self._networks = {t.name: t.network for t in tenants}
         for tenant, model_run in zip(tenants, run.runs):
             self._servers[tenant.name] = tenant.name
             self._service_ms[tenant.name] = model_run.latency_ms
             self._shares[tenant.name] = model_run.partition_cores
+
+    def batched_service_ms(self, tenant: str, count: int) -> float:
+        if count < 1:
+            raise SimulationError(f"batch count must be >= 1, got {count}")
+        if count == 1:
+            return self.service_ms(tenant)
+        return self.scheduler.simulate_partition(
+            self._networks[tenant], self._shares[tenant], batch_requests=count
+        ).latency_ms
 
 
 class TimeSharedPolicy(ServingPolicy):
@@ -191,6 +214,18 @@ class ElasticPolicy(ServingPolicy):
             self._service_ms[tenant.name] = self.service.latency_ms(
                 tenant.network, share
             )
+
+    def batched_service_ms(self, tenant: str, count: int) -> float:
+        if count < 1:
+            raise SimulationError(f"batch count must be >= 1, got {count}")
+        if count == 1:
+            return self.service_ms(tenant)
+        network = next(
+            t.network for t in self._tenants if t.name == tenant
+        )
+        return self.service.batched_latency_ms(
+            network, self._shares[tenant], count
+        )
 
     def region_starts(self) -> Dict[str, int]:
         """Each tenant's offset into the global snake walk (tenant order)."""
@@ -294,10 +329,22 @@ class FixedServicePolicy(ServingPolicy):
         service_ms: Mapping[str, float],
         *,
         shared_server: Optional[str] = None,
+        staging_ms: Optional[Mapping[str, float]] = None,
     ) -> None:
         super().__init__()
         self._fixed = dict(service_ms)
         self._shared = shared_server
+        #: One-time share of each tenant's service time (weight staging):
+        #: a batched dispatch pays it once, the per-request remainder
+        #: ``count`` times — the scripted analogue of weight-stationary
+        #: request batching.
+        self._staging = dict(staging_ms or {})
+        for name, stage in self._staging.items():
+            if not 0.0 <= stage <= self._fixed.get(name, 0.0):
+                raise SimulationError(
+                    f"staging_ms for {name!r} must be within "
+                    f"[0, service_ms], got {stage}"
+                )
 
     def prepare(self, tenants: Sequence[TenantSpec]) -> None:
         for tenant in tenants:
@@ -307,3 +354,11 @@ class FixedServicePolicy(ServingPolicy):
                 )
             self._servers[tenant.name] = self._shared or tenant.name
             self._service_ms[tenant.name] = self._fixed[tenant.name]
+
+    def batched_service_ms(self, tenant: str, count: int) -> float:
+        if count < 1:
+            raise SimulationError(f"batch count must be >= 1, got {count}")
+        if count == 1:
+            return self._fixed[tenant]
+        stage = self._staging.get(tenant, 0.0)
+        return stage + count * (self._fixed[tenant] - stage)

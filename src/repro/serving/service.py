@@ -42,7 +42,7 @@ from repro.nn.workloads import NetworkSpec
 #: generous for tens of tenants while bounding long-lived services.
 DEFAULT_CACHE_SIZE = 256
 
-_CacheKey = Tuple[NetworkSpec, int, str]
+_CacheKey = Tuple[NetworkSpec, int, str, int]
 
 
 class ServiceModel:
@@ -75,13 +75,15 @@ class ServiceModel:
         cores: int,
         *,
         backend: Optional[str] = None,
+        batch_requests: int = 1,
     ) -> NetworkRunResult:
         """The memoized simulation of ``network`` on ``cores`` cores.
 
         ``backend`` overrides the service's authoritative tier for this
-        lookup (cached separately per tier)."""
+        lookup; ``batch_requests`` simulates a weight-stationary request
+        batch.  Both are part of the cache key."""
         tier = backend or self.backend
-        key = (network, cores, tier)
+        key = (network, cores, tier, batch_requests)
         sink = telemetry.current()
         run = self._runs.get(key)
         if run is not None:
@@ -91,7 +93,9 @@ class ServiceModel:
             return run
         if sink.enabled:
             sink.registry.counter("serving/service/cache_miss").inc()
-        run = self.scheduler.simulate_partition(network, cores, backend=tier)
+        run = self.scheduler.simulate_partition(
+            network, cores, backend=tier, batch_requests=batch_requests
+        )
         self._runs[key] = run
         while len(self._runs) > self.cache_size:
             self._runs.popitem(last=False)
@@ -100,6 +104,16 @@ class ServiceModel:
     def latency_ms(self, network: NetworkSpec, cores: int) -> float:
         """Authoritative-tier latency (what SLO accounting bills)."""
         return self.partition_run(network, cores).latency_ms
+
+    def batched_latency_ms(
+        self, network: NetworkSpec, cores: int, batch_requests: int
+    ) -> float:
+        """Authoritative-tier latency of a whole weight-stationary request
+        batch — filters load and segments stage once, so this grows
+        sublinearly in ``batch_requests``."""
+        return self.partition_run(
+            network, cores, batch_requests=batch_requests
+        ).latency_ms
 
     def estimate_latency_ms(self, network: NetworkSpec, cores: int) -> float:
         """Cheap analytic-tier latency for control decisions.

@@ -63,14 +63,25 @@ class ServingSimulator:
         policy: ServingPolicy,
         *,
         discipline: str = "fifo",
+        batch_requests: int = 1,
         telemetry: Optional[TelemetrySink] = None,
     ) -> None:
         if discipline not in DISCIPLINES:
             raise SimulationError(
                 f"unknown queue discipline {discipline!r}; choose from {DISCIPLINES}"
             )
+        if batch_requests < 1:
+            raise SimulationError(
+                f"batch_requests must be >= 1, got {batch_requests}"
+            )
         self.policy = policy
         self.discipline = discipline
+        #: Weight-stationary request batching: a free server may pull up
+        #: to this many queued requests *of the same tenant* and serve
+        #: them back to back at the policy's batched service time
+        #: (:meth:`ServingPolicy.batched_service_ms`), amortizing weight
+        #: staging.  ``1`` is the historical one-request-at-a-time loop.
+        self.batch_requests = batch_requests
         self._telemetry = telemetry if telemetry is not None else _current_telemetry()
 
     # -- the run ---------------------------------------------------------------
@@ -156,55 +167,81 @@ class ServingSimulator:
             request = pick(server)
             if request is None:
                 return
-            request.start_ms = now
-            service = self.policy.service_ms(request.tenant)
+            # Weight-stationary batching: pull further queued requests of
+            # the *same tenant* (same weights) into this dispatch, up to
+            # the batch limit; they serve back to back with staging paid
+            # once.  batch_requests=1 keeps the historical loop exactly.
+            batch = [request]
+            tenant_queue = queues[request.tenant]
+            while (
+                len(batch) < self.batch_requests
+                and tenant_queue.peek_key() is not None
+            ):
+                batch.append(tenant_queue.pop())
+            for req in batch:
+                req.start_ms = now
+            if len(batch) == 1:
+                service = self.policy.service_ms(request.tenant)
+            else:
+                service = self.policy.batched_service_ms(
+                    request.tenant, len(batch)
+                )
             finish = now + service
             state.busy = True
             state.free_at_ms = finish
             if sink.enabled:
                 assert sink.trace is not None
+                args: Dict[str, object] = {"request": request.index}
+                if len(batch) > 1:
+                    args["batched"] = len(batch)
                 sink.trace.complete(
                     f"serving/server/{server}",
                     request.tenant,
                     ts=now,
                     dur=service,
-                    args={"request": request.index},
+                    args=args,
                 )
             queue.schedule(
                 finish,
-                lambda: complete(server, request, service, finish),
+                lambda: complete(server, batch, service, finish),
                 tag="serving/completion",
             )
 
         def complete(
-            server: str, request: Request, service: float, finish: float
+            server: str, batch: List[Request], service: float, finish: float
         ) -> None:
             state = servers[server]
             state.busy = False
             state.busy_ms += service
-            request.finish_ms = finish
-            report = reports[request.tenant]
-            if finish <= duration_ms:
-                report.record_completion(
-                    request.latency_ms,
-                    request.queue_wait_ms,
-                    service,
-                    met_deadline=request.met_deadline,
-                )
-                count(f"serving/tenant/{request.tenant}/completed")
-                if not request.met_deadline:
-                    count(f"serving/tenant/{request.tenant}/deadline_misses")
-                if sink.enabled:
-                    assert sink.registry is not None
-                    sink.registry.histogram(
-                        f"serving/tenant/{request.tenant}/latency_ms",
-                        bounds=report.histogram.bounds,
-                    ).observe(request.latency_ms)
-            else:
-                report.overrun += 1
-            spec = specs[request.tenant]
-            if spec.arrivals.closed_loop:
-                schedule_arrival(spec, spec.arrivals.after_completion_ms(finish))
+            # Every request of the batch finishes when the batch does;
+            # the per-request service share is what SLO accounting bills.
+            share = service / len(batch)
+            for request in batch:
+                request.finish_ms = finish
+                report = reports[request.tenant]
+                if finish <= duration_ms:
+                    report.record_completion(
+                        request.latency_ms,
+                        request.queue_wait_ms,
+                        share,
+                        met_deadline=request.met_deadline,
+                    )
+                    count(f"serving/tenant/{request.tenant}/completed")
+                    if not request.met_deadline:
+                        count(f"serving/tenant/{request.tenant}/deadline_misses")
+                    if sink.enabled:
+                        assert sink.registry is not None
+                        sink.registry.histogram(
+                            f"serving/tenant/{request.tenant}/latency_ms",
+                            bounds=report.histogram.bounds,
+                        ).observe(request.latency_ms)
+                else:
+                    report.overrun += 1
+                spec = specs[request.tenant]
+                if spec.arrivals.closed_loop:
+                    schedule_arrival(
+                        spec, spec.arrivals.after_completion_ms(finish)
+                    )
             dispatch(server)
 
         # -- arrivals ---------------------------------------------------------

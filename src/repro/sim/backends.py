@@ -95,6 +95,7 @@ class _SegmentOutcome:
         functional_macs: Optional[int] = None,
         checksum: Optional[int] = None,
         numerics_verified: Optional[bool] = None,
+        requests_simulated: int = 1,
     ) -> None:
         self.compute_cycles = compute_cycles
         self.layers = layers
@@ -103,6 +104,11 @@ class _SegmentOutcome:
         self.functional_macs = functional_macs
         self.checksum = checksum
         self.numerics_verified = numerics_verified
+        #: How many request copies ``compute_cycles`` already covers.
+        #: Queueing tiers simulate the whole request batch; closed-form
+        #: tiers cover one and the shared loop extrapolates the rest at
+        #: the steady interval.
+        self.requests_simulated = requests_simulated
 
 
 class ModeledBackend:
@@ -130,6 +136,7 @@ class ModeledBackend:
         self, network: NetworkSpec, plan: SegmentPlan, config: SimConfig
     ) -> RunReport:
         batch = config.batch
+        requests = config.batch_requests
         model = performance_model(config)
         energy_model = EnergyModel(config.chip.constants)
         runs: List[SegmentReport] = []
@@ -139,6 +146,9 @@ class ModeledBackend:
             timings = segment_timings(model, segment)
             outcome = self._simulate_segment(model, timings, config)
             weight_bytes = segment_weight_bytes(segment)
+            # Weight-stationary request batching: filters load once and
+            # the segment stages once for the whole request batch, so
+            # both costs amortize across ``batch_requests``.
             load = exposed_filter_load_cycles(config, weight_bytes)
             staging = staging_cycles(config, plan, k) * batch
             steady = steady_interval(timings)
@@ -158,11 +168,19 @@ class ModeledBackend:
             )
             runs.append(report)
             # Extra samples ride the steady-state pipeline: the segment's
-            # bottleneck station dictates the per-sample interval.
-            total += report.cycles + (batch - 1) * steady
+            # bottleneck station dictates the per-sample interval.  A
+            # queueing tier already simulated ``requests_simulated``
+            # request copies inside compute_cycles; any remaining request
+            # copies, and the (batch - 1) extra samples of every request,
+            # stream at the steady interval.
+            total += (
+                report.cycles
+                + (requests - outcome.requests_simulated) * steady
+                + requests * (batch - 1) * steady
+            )
             count_segment_ops(
                 ops, model, config.capacity, segment, timings,
-                outcome.compute_cycles, weight_bytes, batch=batch,
+                outcome.compute_cycles, weight_bytes, batch=batch * requests,
             )
         seconds = total * config.chip.constants.cycle_seconds
         energy = energy_model.breakdown(ops, seconds)
@@ -176,6 +194,7 @@ class ModeledBackend:
             energy=energy,
             constants=config.chip.constants,
             batch=batch,
+            batch_requests=requests,
             backend=self.name,
         )
 
@@ -232,7 +251,9 @@ class StreamingBackend(ModeledBackend):
         timings: List[LayerTiming],
         config: SimConfig,
     ) -> _SegmentOutcome:
-        result = SegmentSimulator(timings).run()
+        result = SegmentSimulator(
+            timings, requests=config.batch_requests
+        ).run()
         layers = [
             LayerReport(
                 index=flow.spec.index,
@@ -246,7 +267,12 @@ class StreamingBackend(ModeledBackend):
             )
             for flow, lt in zip(result.flows, timings)
         ]
-        return _SegmentOutcome(result.total_cycles, layers, result=result)
+        return _SegmentOutcome(
+            result.total_cycles,
+            layers,
+            result=result,
+            requests_simulated=config.batch_requests,
+        )
 
 
 class EventBackend(ModeledBackend):
@@ -262,14 +288,17 @@ class EventBackend(ModeledBackend):
         config: SimConfig,
     ) -> _SegmentOutcome:
         result = EventDrivenSegmentSimulator(
-            timings, forward_policy=config.forward_policy
+            timings,
+            forward_policy=config.forward_policy,
+            requests=config.batch_requests,
+            engine=config.event_engine,
         ).run()
         layers = [
             LayerReport(
                 index=lt.spec.index,
                 name=lt.spec.name,
                 computing_nodes=lt.computing_nodes,
-                iterations=lt.iterations,
+                iterations=lt.iterations * result.requests,
                 interval_work=lt.interval,
                 start=0.0,
                 finish=result.layer_finish[lt.spec.index],
@@ -280,6 +309,7 @@ class EventBackend(ModeledBackend):
             result.total_cycles,
             layers,
             events_processed=result.events_processed,
+            requests_simulated=result.requests,
         )
 
 
@@ -425,19 +455,26 @@ def simulate(
     backend: Optional[str] = None,
     strategy: Optional[str] = None,
     batch: Optional[int] = None,
+    batch_requests: Optional[int] = None,
     config: Optional[SimConfig] = None,
     plan: Optional[SegmentPlan] = None,
 ) -> RunReport:
     """Map ``network`` and simulate it on the named backend.
 
-    ``strategy`` and ``batch`` override the corresponding ``config``
-    fields; ``plan`` skips planning entirely (the caller mapped the
-    network already — xcheck uses this to hold the plan fixed across
-    tiers).
+    ``strategy``, ``batch`` and ``batch_requests`` override the
+    corresponding ``config`` fields; ``plan`` skips planning entirely
+    (the caller mapped the network already — xcheck uses this to hold
+    the plan fixed across tiers).
     """
     if batch is not None and batch < 1:
         raise MappingError(f"batch must be >= 1, got {batch}")
-    cfg = (config or SimConfig()).with_run(strategy=strategy, batch=batch)
+    if batch_requests is not None and batch_requests < 1:
+        raise MappingError(
+            f"batch_requests must be >= 1, got {batch_requests}"
+        )
+    cfg = (config or SimConfig()).with_run(
+        strategy=strategy, batch=batch, batch_requests=batch_requests
+    )
     tier = get_backend(backend or DEFAULT_BACKEND)
     network = tile_network(network, cfg.capacity, cfg.array_size)
     if plan is None:

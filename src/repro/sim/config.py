@@ -42,11 +42,24 @@ class SimConfig:
 
     strategy: str = "heuristic"
     batch: int = 1
+    #: Weight-stationary request batching: one mapped network serves this
+    #: many in-flight requests back to back, loading filters and staging
+    #: the segment once.  ``batch`` multiplies samples *within* one
+    #: request (shared staging, per-sample compute); ``batch_requests``
+    #: streams whole requests through the resident weights, so staging
+    #: and filter-load costs amortize across requests in every tier.
+    batch_requests: int = 1
 
     #: ``event`` tier: "eager" forwards the ifmap vector as soon as the
     #: StoreRow.RC could issue; "after_compute" follows Algorithm 1
     #: literally (forward after the MAC block).
     forward_policy: str = "eager"
+    #: ``event`` tier engine: "auto" uses the vectorized per-layer engine
+    #: whenever its byte-exactness preconditions hold (falling back to the
+    #: per-event reference engine otherwise); "vectorized"/"reference"
+    #: force one engine — the differential tests pin them against each
+    #: other.
+    event_engine: str = "auto"
     #: ``cycle`` tier: run every MAC on the modeled SRAM bit-lines
     #: (very slow; ``False`` keeps the same data movement with NumPy
     #: dot products — still bit-exact).
@@ -63,9 +76,17 @@ class SimConfig:
             )
         if self.batch < 1:
             raise ConfigurationError(f"batch must be >= 1, got {self.batch}")
+        if self.batch_requests < 1:
+            raise ConfigurationError(
+                f"batch_requests must be >= 1, got {self.batch_requests}"
+            )
         if self.forward_policy not in ("eager", "after_compute"):
             raise ConfigurationError(
                 f"unknown forward policy {self.forward_policy!r}"
+            )
+        if self.event_engine not in ("auto", "vectorized", "reference"):
+            raise ConfigurationError(
+                f"unknown event engine {self.event_engine!r}"
             )
 
     def with_run(
@@ -73,10 +94,14 @@ class SimConfig:
         *,
         strategy: Optional[str] = None,
         batch: Optional[int] = None,
+        batch_requests: Optional[int] = None,
     ) -> "SimConfig":
         """A copy of this machine description with new run parameters."""
         return replace(
             self,
             strategy=self.strategy if strategy is None else strategy,
             batch=self.batch if batch is None else batch,
+            batch_requests=(
+                self.batch_requests if batch_requests is None else batch_requests
+            ),
         )

@@ -152,6 +152,11 @@ class RunReport:
     energy: EnergyBreakdown
     constants: ChipConstants
     batch: int = 1
+    #: Weight-stationary request batching factor the run was produced
+    #: with (``SimConfig.batch_requests``): the run covers
+    #: ``batch * batch_requests`` samples, with filter loads and segment
+    #: staging paid once for the whole request batch.
+    batch_requests: int = 1
     backend: str = "streaming"
 
     @property
@@ -161,12 +166,31 @@ class RunReport:
 
     @property
     def latency_ms(self) -> float:
-        """Whole-run latency (all ``batch`` samples)."""
+        """Whole-run latency (all ``batch * batch_requests`` samples)."""
         return self.total_cycles * self.constants.cycle_seconds * 1e3
 
     @property
+    def latency_per_request_ms(self) -> float:
+        """Amortized per-request latency of the request batch."""
+        return self.latency_ms / self.batch_requests
+
+    @property
     def throughput_samples_s(self) -> float:
-        return self.batch * 1000.0 / self.latency_ms
+        return self.batch * self.batch_requests * 1000.0 / self.latency_ms
+
+    @property
+    def throughput_requests_s(self) -> float:
+        return self.batch_requests * 1000.0 / self.latency_ms
+
+    @property
+    def staging_cycles_per_request(self) -> float:
+        """Amortized per-request share of the one-time filter-load and
+        segment-staging cycles — the costs request batching exists to
+        amortize (they are charged once per request batch)."""
+        once = sum(
+            run.filter_load_cycles + run.staging_cycles for run in self.runs
+        )
+        return once / self.batch_requests
 
     @property
     def average_power_w(self) -> float:
@@ -184,7 +208,10 @@ class RunReport:
         (Sec. 6.3); pass ``include_dram=False`` to match.
         """
         seconds = self.total_cycles * self.constants.cycle_seconds
-        ops = 2.0 * self.batch * self.network.total_macs / seconds
+        ops = (
+            2.0 * self.batch * self.batch_requests
+            * self.network.total_macs / seconds
+        )
         energy = self.energy.total if include_dram else self.energy.total - self.energy.dram
         return ops / (energy / seconds) / 1e9
 
@@ -204,8 +231,11 @@ class RunReport:
             "network": self.network.name,
             "strategy": self.strategy,
             "batch": self.batch,
+            "batch_requests": self.batch_requests,
             "total_cycles": self.total_cycles,
             "latency_ms": self.latency_ms,
+            "latency_per_request_ms": self.latency_per_request_ms,
+            "staging_cycles_per_request": self.staging_cycles_per_request,
             "energy_j": self.energy.total,
             "segments": [run.as_dict() for run in self.runs],
         }

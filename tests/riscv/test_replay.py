@@ -1,0 +1,198 @@
+"""The pipeline replay cache: memoized timing, full functional fidelity.
+
+A :class:`~repro.riscv.replay.ReplayCache` entry exists only after a
+double gate — the static predictor proves the kernel's timing
+data-independent AND the first measured run matches the prediction
+bit-for-bit — so a replayed run must be indistinguishable from a full
+pipeline run in every observable: stats, registers, memory, CMem state,
+remote traffic, and energy.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.node import MAICCNode
+from repro.nn.workloads import ConvLayerSpec
+from repro.riscv.assembler import assemble
+from repro.riscv.core import Core, CoreConfig
+from repro.riscv.pipeline import PipelineConfig
+from repro.riscv.replay import ReplayCache
+
+
+def straightline_program():
+    # Branch-free, no register-based memory addressing: the static
+    # predictor certifies this timing-deterministic (``exact``).
+    return assemble(
+        "\n".join(
+            [
+                "li t0, 40",
+                "li t1, 2",
+                "add t2, t0, t1",
+                "mul t3, t2, t1",
+                "addi t4, t3, -42",
+                "halt",
+            ]
+        )
+    )
+
+
+def looping_program():
+    # A backward branch: the static predictor refuses to certify it.
+    return assemble(
+        "\n".join(
+            [
+                "li t0, 3",
+                "loop:",
+                "addi t0, t0, -1",
+                "bne t0, x0, loop",
+                "halt",
+            ]
+        )
+    )
+
+
+class TestReplayCacheDirect:
+    def test_hit_replays_identical_stats_and_state(self):
+        cache = ReplayCache()
+        program = straightline_program()
+        first_core = Core()
+        first = cache.run(
+            program, first_core.executor, PipelineConfig(),
+            first_core.cmem.config.num_slices,
+        )
+        assert cache.misses == 1 and cache.hits == 0 and len(cache) == 1
+
+        second_core = Core()
+        second = cache.run(
+            program, second_core.executor, PipelineConfig(),
+            second_core.cmem.config.num_slices,
+        )
+        assert cache.hits == 1
+        assert second.cycles == first.cycles
+        assert second.instructions == first.instructions
+        assert second.category_cycles == first.category_cycles
+        # Functional side effects happened on the replay run too.
+        assert second_core.regs.read(7) == 42       # t2 = 40 + 2
+        assert second_core.regs.read(28) == 84      # t3 = 42 * 2
+        assert second_core.regs.read(29) == 42      # t4 = 84 - 42
+
+    def test_snapshot_is_isolated_from_caller_mutation(self):
+        cache = ReplayCache()
+        program = straightline_program()
+        core = Core()
+        args = (program, core.executor, PipelineConfig(),
+                core.cmem.config.num_slices)
+        first = cache.run(*args)
+        first.category_cycles["tampered"] = 999
+        second = cache.run(*args)
+        assert "tampered" not in second.category_cycles
+
+    def test_branching_program_never_cached(self):
+        cache = ReplayCache()
+        program = looping_program()
+        for expected_misses in (1, 2):
+            core = Core()
+            cache.run(
+                program, core.executor, PipelineConfig(),
+                core.cmem.config.num_slices,
+            )
+            assert cache.misses == expected_misses
+        assert cache.hits == 0
+        assert len(cache) == 1  # the ineligibility verdict is remembered
+
+    def test_config_mismatch_bypasses_entry(self):
+        cache = ReplayCache()
+        program = straightline_program()
+        core = Core()
+        slices = core.cmem.config.num_slices
+        cache.run(program, core.executor, PipelineConfig(), slices)
+        other = PipelineConfig(writeback_ports=1)
+        cache.run(program, Core().executor, other, slices)
+        assert cache.hits == 0
+        assert cache.misses == 2
+
+
+class TestCoreIntegration:
+    def test_core_run_uses_cache(self):
+        cache = ReplayCache()
+        program = straightline_program()
+        baseline = Core().run(program)
+        replayed_core = Core()
+        replayed_core.run(program, replay_cache=cache)
+        again = replayed_core.run(program, replay_cache=cache)
+        assert cache.hits == 1
+        assert again.cycles == baseline.cycles
+        assert again.instructions == baseline.instructions
+
+    def test_max_instructions_bypasses_cache(self):
+        cache = ReplayCache()
+        program = straightline_program()
+        core = Core()
+        core.run(program, replay_cache=cache, max_instructions=3)
+        assert len(cache) == 0 and cache.misses == 0
+
+    def test_telemetry_enabled_bypasses_cache(self):
+        from repro import telemetry
+
+        cache = ReplayCache()
+        program = straightline_program()
+        sink = telemetry.Telemetry()
+        with telemetry.use(sink):
+            core = Core(telemetry=sink)
+            core.run(program, replay_cache=cache)
+            core.run(program, replay_cache=cache)
+        assert len(cache) == 0 and cache.hits == 0
+
+
+def small_node():
+    spec = ConvLayerSpec(
+        index=0, name="replay[4x4x16]", h=4, w=4, c=16, m=2,
+        r=3, s=3, stride=1, padding=0,
+    )
+    rng = np.random.default_rng(17)
+    weights = rng.integers(-128, 128, (spec.m, spec.c, spec.r, spec.s))
+    bias = rng.integers(-1000, 1000, spec.m)
+    ifmap = rng.integers(-128, 128, (spec.c, spec.h, spec.w))
+    return spec, weights, bias, ifmap
+
+
+class TestNodeReplay:
+    def test_repeat_runs_are_bit_identical_and_hit(self):
+        spec, weights, bias, ifmap = small_node()
+        node = MAICCNode(spec, weights, bias)
+        assert node.replay_cache is not None
+        first = node.run(ifmap)
+        second = node.run(ifmap)
+        assert node.replay_cache.hits == 1
+        assert second.stats.cycles == first.stats.cycles
+        assert second.stats.instructions == first.stats.instructions
+        assert second.stats.category_cycles == first.stats.category_cycles
+        assert np.array_equal(second.psums, first.psums)
+        assert np.array_equal(second.outputs, first.outputs)
+        assert second.forwarded_rows == first.forwarded_rows
+        np.testing.assert_array_equal(
+            first.psums, node.reference(ifmap)
+        )
+
+    def test_replay_matches_uncached_node(self):
+        spec, weights, bias, ifmap = small_node()
+        cached = MAICCNode(spec, weights, bias)
+        plain = MAICCNode(spec, weights, bias, replay=False)
+        assert plain.replay_cache is None
+        cached.run(ifmap)  # prime
+        replayed = cached.run(ifmap)
+        direct = plain.run(ifmap)
+        assert replayed.stats.cycles == direct.stats.cycles
+        assert replayed.stats.instructions == direct.stats.instructions
+        assert np.array_equal(replayed.psums, direct.psums)
+        assert np.array_equal(replayed.outputs, direct.outputs)
+
+    def test_custom_pipeline_config_skips_cache(self):
+        spec, weights, bias, ifmap = small_node()
+        node = MAICCNode(spec, weights, bias)
+        node.run(ifmap)
+        assert node.replay_cache is not None
+        misses_before = node.replay_cache.misses
+        node.run(ifmap, pipeline=PipelineConfig(writeback_ports=1))
+        assert node.replay_cache.misses == misses_before
+        assert node.replay_cache.hits == 0

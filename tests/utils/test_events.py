@@ -1,6 +1,8 @@
 """Tests for the discrete-event kernel."""
 
 import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
 
 from repro.errors import SimulationError
 from repro.utils.events import EventQueue
@@ -176,3 +178,105 @@ class TestRunUntilMaxEventsInteraction:
         assert q.now == 7
         q.run(until=2)
         assert q.now == 7
+
+
+# Strategy for a deterministic event program: each top-level entry is
+# (time, [child delays]); firing an event appends its tag and schedules
+# its children at now + delay, so equal-time ties, nested scheduling,
+# and same-timestamp children (delay 0) are all exercised.
+_PROGRAMS = st.lists(
+    st.tuples(
+        st.integers(min_value=0, max_value=5),
+        st.lists(st.integers(min_value=0, max_value=4), max_size=3),
+    ),
+    max_size=12,
+)
+
+
+def _run_program(program, *, batched):
+    q = EventQueue()
+    order = []
+
+    def fire(tag, children):
+        def action():
+            order.append(tag)
+            for j, delay in enumerate(children):
+                q.schedule_in(delay, fire(f"{tag}.{j}", ()))
+        return action
+
+    for i, (t, children) in enumerate(program):
+        q.schedule(t, fire(f"e{i}", children))
+    q.run(batched=batched)
+    return order, q.now, q.processed
+
+
+class TestBatchDraining:
+    """``step_batch`` / ``run(batched=True)`` vs per-event stepping."""
+
+    def test_batch_pops_all_equal_time_events_in_seq_order(self):
+        q = EventQueue()
+        seen = []
+        q.schedule(3, lambda: seen.append("a"))
+        q.schedule(3, lambda: seen.append("b"))
+        q.schedule(5, lambda: seen.append("later"))
+        batch = q.step_batch()
+        assert [e.time for e in batch] == [3, 3]
+        assert seen == ["a", "b"]
+        assert q.now == 3
+        assert q.processed == 2
+        assert len(q) == 1
+
+    def test_same_time_events_scheduled_by_batch_form_next_batch(self):
+        q = EventQueue()
+        seen = []
+
+        def first():
+            seen.append("first")
+            # Lands at the batch's own timestamp: must NOT join the
+            # in-flight batch, but fire in the next one at the same now.
+            q.schedule(2, lambda: seen.append("child"))
+
+        q.schedule(2, first)
+        q.schedule(2, lambda: seen.append("second"))
+        assert len(q.step_batch()) == 2
+        assert seen == ["first", "second"]
+        assert q.now == 2
+        assert len(q.step_batch()) == 1
+        assert seen == ["first", "second", "child"]
+        assert q.now == 2
+
+    def test_step_batch_on_empty_queue(self):
+        assert EventQueue().step_batch() == []
+
+    def test_batched_run_matches_stepped_run_on_nested_program(self):
+        program = [(2, [0, 3]), (2, []), (0, [2, 2]), (5, [0])]
+        assert _run_program(program, batched=True) == _run_program(
+            program, batched=False
+        )
+
+    def test_batched_until_and_max_events_between_batches(self):
+        q = EventQueue()
+        for t in (1, 1, 1, 2):
+            q.schedule(t, lambda: None)
+        # max_events is checked between atomic batches: the t=1 batch of
+        # three dispatches whole even though the budget is 2.
+        q.run(max_events=2, batched=True)
+        assert q.processed == 3
+        assert q.now == 1
+        q.run(until=10, batched=True)
+        assert q.processed == 4
+        assert q.now == 10
+
+    @settings(max_examples=200, deadline=None)
+    @given(program=_PROGRAMS)
+    def test_batched_dispatch_order_equals_stepped_order(self, program):
+        """Property: batch draining is observationally identical.
+
+        For any program of (time, children) schedules — including
+        equal-time ties and handlers that schedule at the current
+        timestamp — ``run(batched=True)`` dispatches the exact sequence
+        ``run()`` does, and lands on the same ``now``/``processed``.
+        """
+        assert _run_program(program, batched=True) == _run_program(
+            program, batched=False
+        )
