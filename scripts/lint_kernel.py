@@ -27,7 +27,6 @@ from typing import List, Optional
 from repro.analysis import (
     AnalysisConfig,
     LintReport,
-    estimate_cycles,
     schedule_kernel,
     verify_program,
 )

@@ -29,78 +29,24 @@ import argparse
 import json
 import os
 import sys
-from typing import Dict, List
+from typing import Dict
 
 sys.path.insert(0, os.path.join(os.path.dirname(__file__), "..", "src"))
 
 from repro import telemetry
 from repro.core.multi_dnn import MultiDNNScheduler
-from repro.nn.workloads import ConvLayerSpec, NetworkSpec, small_cnn_spec
 from repro.serving import (
     ElasticPolicy,
-    PoissonArrivals,
     ServiceModel,
     ServingPolicy,
     ServingRunResult,
     ServingSimulator,
     StaticPartitionPolicy,
-    TenantSpec,
     TimeSharedPolicy,
-    TraceArrivals,
 )
+from repro.serving.scenarios import SCENARIOS
 
 POLICIES = ("static", "time-shared", "elastic")
-
-
-def conv_net(name: str, m: int, h: int, layers: int = 2) -> NetworkSpec:
-    specs = tuple(
-        ConvLayerSpec(i + 1, f"{name}{i}", h=h, w=h, c=64, m=m)
-        for i in range(layers)
-    )
-    return NetworkSpec(name=name, layers=specs)
-
-
-def mixed_rate_tenants() -> List[TenantSpec]:
-    """Heavy slow-rate model beside light hot ones (the acceptance run)."""
-    return [
-        TenantSpec("camera", conv_net("camera", m=64, h=28),
-                   PoissonArrivals(400, seed=1), deadline_ms=6.0),
-        TenantSpec("lidar", conv_net("lidar", m=32, h=14),
-                   PoissonArrivals(1500, seed=2), deadline_ms=3.0),
-        TenantSpec("radar", small_cnn_spec(),
-                   PoissonArrivals(2500, seed=3), deadline_ms=2.0),
-    ]
-
-
-def smoke_tenants() -> List[TenantSpec]:
-    """Two tiny tenants far below saturation: zero shed expected."""
-    return [
-        TenantSpec("alpha", small_cnn_spec(),
-                   PoissonArrivals(150, seed=7), deadline_ms=20.0),
-        TenantSpec("beta", conv_net("beta", m=32, h=14, layers=1),
-                   PoissonArrivals(100, seed=8), deadline_ms=20.0),
-    ]
-
-
-def bursty_tenants() -> List[TenantSpec]:
-    """A steady stream beside a mid-run burst on a bounded queue."""
-    burst = [float(t) for t in range(0, 40)]            # 1 kHz warm-up
-    burst += [40.0 + 0.05 * i for i in range(400)]      # 20 kHz burst
-    burst += [60.0 + float(t) for t in range(40)]       # cool-down
-    return [
-        TenantSpec("steady", conv_net("steady", m=32, h=14),
-                   PoissonArrivals(800, seed=4), deadline_ms=4.0),
-        TenantSpec("bursty", small_cnn_spec(),
-                   TraceArrivals(burst), deadline_ms=2.0,
-                   queue_capacity=32, priority=1),
-    ]
-
-
-SCENARIOS = {
-    "mixed-rate": (mixed_rate_tenants, 120.0),
-    "smoke": (smoke_tenants, 80.0),
-    "bursty": (bursty_tenants, 100.0),
-}
 
 
 def build_policy(

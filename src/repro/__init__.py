@@ -15,8 +15,12 @@ Quickstart::
     print(result.latency_ms, result.throughput_per_watt)
 """
 
-from repro.analysis import lint_text, schedule_kernel, verify_program
 from repro.cmem import CMem, CMemConfig
+
+# repro.core must initialize before repro.analysis: the system-scope
+# analyzers (repro.analysis.plan / .system) import repro.sim, whose
+# config/accounting modules import repro.core — loading analysis first
+# would re-enter repro.sim.config mid-initialization.
 from repro.core import (
     ChipConfig,
     ChipSimulator,
@@ -30,6 +34,7 @@ from repro.core import (
     static_schedule,
     table4_workload,
 )
+from repro.analysis import lint_text, schedule_kernel, verify_program
 from repro.energy import ChipConstants, area_breakdown
 from repro.mapping import (
     CapacityModel,

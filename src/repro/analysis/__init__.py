@@ -15,6 +15,17 @@ the program:
   scheduler plus an exact (for branch-free kernels) cycle predictor that
   mirrors :mod:`repro.riscv.pipeline`;
 * ``scripts/lint_kernel.py`` — the command-line front end.
+
+Since PR 7 the package also checks *whole systems*, not just kernels
+(``scripts/lint_plan.py`` front end, ``analyze_plan()`` entry point):
+
+* :func:`analyze_plan` / :class:`PlanVerifier` — ``PLAN6xx`` resource
+  checks over :class:`~repro.mapping.segmentation.SegmentPlan` sets
+  (the ``simulate()``/serving pre-flight gate);
+* :func:`check_routes` / :func:`replay_routes` — ``NOC7xx``
+  channel-dependency deadlock and hot-link checks over mesh route sets;
+* :func:`check_batches` / :func:`check_replay` — ``DET8xx``
+  same-timestamp batch commutativity and seeded replay diffing.
 """
 
 from repro.analysis.cfg import (
@@ -24,8 +35,30 @@ from repro.analysis.cfg import (
     compute_defined,
     compute_liveness,
 )
+from repro.analysis.determinism import (
+    EventAccess,
+    accesses_from_events,
+    accesses_from_queue,
+    check_batches,
+    check_replay,
+)
 from repro.analysis.diagnostics import Diagnostic, LintReport, Severity
+from repro.analysis.noc_check import (
+    RouteChecker,
+    RouteFlow,
+    RouteReplay,
+    check_routes,
+    plan_route_flows,
+    replay_routes,
+)
+from repro.analysis.plan import (
+    PlanVerifier,
+    ResidentPlan,
+    dram_bandwidth_budget,
+    verify_plan,
+)
 from repro.analysis.rules import RULES, Rule, rule
+from repro.analysis.system import ANALYSIS_FAMILIES, analyze_plan
 from repro.analysis.scheduler import (
     ScheduleReport,
     TimingEstimate,
@@ -40,23 +73,40 @@ from repro.analysis.verifier import (
 )
 
 __all__ = [
+    "ANALYSIS_FAMILIES",
     "AnalysisConfig",
     "BasicBlock",
     "ControlFlowGraph",
     "Diagnostic",
+    "EventAccess",
     "KernelVerifier",
     "LintReport",
+    "PlanVerifier",
     "RULES",
+    "ResidentPlan",
+    "RouteChecker",
+    "RouteFlow",
+    "RouteReplay",
     "Rule",
     "rule",
     "ScheduleReport",
     "Severity",
     "TimingEstimate",
+    "accesses_from_events",
+    "accesses_from_queue",
+    "analyze_plan",
     "build_cfg",
+    "check_batches",
+    "check_replay",
+    "check_routes",
     "compute_defined",
     "compute_liveness",
+    "dram_bandwidth_budget",
     "estimate_cycles",
     "lint_text",
+    "plan_route_flows",
+    "replay_routes",
     "schedule_kernel",
+    "verify_plan",
     "verify_program",
 ]

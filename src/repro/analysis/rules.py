@@ -8,7 +8,13 @@ prefix:
 * ``CMEM`` — CMem geometry and operand legality (the 8x(64x256b) design
   point, Table 2 widths, slice-0 reservation);
 * ``LOCK`` — the Algorithm-1 ``p``/``nextp`` vector-lock protocol;
-* ``MEM``  — statically resolvable data-memory accesses (Table 1 map).
+* ``MEM``  — statically resolvable data-memory accesses (Table 1 map);
+* ``PLAN`` — whole-chip plan verification (CMem capacity, core budgets,
+  staging footprint, DRAM bandwidth, tenant co-residency);
+* ``NOC``  — mesh route sets (channel-dependency deadlock cycles, hot
+  links, malformed routes);
+* ``DET``  — event-tier determinism (conflicting same-timestamp event
+  batches, replay divergence).
 
 ``docs/ANALYSIS.md`` documents each rule with an example diagnostic.
 """
@@ -110,6 +116,52 @@ _ALL = [
          "region of the Table 1 memory map."),
     Rule("MEM502", Severity.ERROR, "misaligned-access",
          "A statically known address violates the access-size alignment."),
+    # -- whole-chip plan verification -------------------------------------------
+    Rule("PLAN601", Severity.ERROR, "cmem-over-capacity",
+         "A layer's node group cannot hold its filters in CMem even with "
+         "split-filter placement; the stager would overflow the slices."),
+    Rule("PLAN602", Severity.ERROR, "core-over-subscription",
+         "A segment (or the co-resident tenants together) needs more "
+         "compute tiles than the array provides."),
+    Rule("PLAN603", Severity.ERROR, "no-ifmap-reservation",
+         "The layer's precision reserves every row of each compute slice "
+         "for the incoming ifmap vector, leaving no slots for filters "
+         "(the slice-0 transpose reservation has no compute twin)."),
+    Rule("PLAN604", Severity.ERROR, "staging-footprint",
+         "A segment stages more weight bytes than the CMem bytes of the "
+         "nodes allocated to it can hold."),
+    Rule("PLAN605", Severity.WARNING, "dram-bandwidth",
+         "The plan's sustained DRAM demand (filter loads plus boundary "
+         "fmap staging across co-resident tenants) exceeds the aggregate "
+         "channel bandwidth budget."),
+    Rule("PLAN606", Severity.ERROR, "tenant-region-overlap",
+         "Two co-resident tenants' snake-walk regions overlap; their node "
+         "groups would be placed onto the same mesh tiles."),
+    # -- NoC route sets ---------------------------------------------------------
+    Rule("NOC701", Severity.ERROR, "route-deadlock-cycle",
+         "The channel-dependency graph of the route set has a cycle: "
+         "every flow in it waits on a link held by the next, and none "
+         "can drain."),
+    Rule("NOC702", Severity.WARNING, "hot-link",
+         "The summed static flit demand on a link exceeds its capacity; "
+         "the link saturates and upstream flows back-pressure."),
+    Rule("NOC703", Severity.ERROR, "bad-route",
+         "A route is malformed: an endpoint off the mesh, a self-loop "
+         "(a wildcard placement mapped chain neighbours to one tile), a "
+         "discontinuous path, or a path that re-acquires a link it "
+         "already holds (self-deadlock)."),
+    # -- event-tier determinism -------------------------------------------------
+    Rule("DET801", Severity.ERROR, "conflicting-batch",
+         "Two same-timestamp events of different actors write one "
+         "station/queue/bank; the batch is not commutative, so batched "
+         "or vectorized draining is order-sensitive."),
+    Rule("DET802", Severity.WARNING, "read-write-race",
+         "A same-timestamp pair reads and writes one resource from "
+         "different actors; the read observes an order-dependent value."),
+    Rule("DET803", Severity.ERROR, "replay-divergence",
+         "Two seeded replays of the same plan produced structurally "
+         "different telemetry traces; the simulation is not "
+         "deterministic."),
 ]
 
 RULES: Dict[str, Rule] = {rule.id: rule for rule in _ALL}

@@ -76,6 +76,20 @@ class CapacityError(MappingError):
     """A layer does not fit the per-node CMem capacity model."""
 
 
+class PlanVerificationError(MappingError):
+    """Static pre-flight analysis rejected a plan before simulation.
+
+    Raised by :func:`repro.sim.simulate` (``SimConfig.preflight``) and
+    by serving admission when :func:`repro.analysis.analyze_plan` finds
+    error-severity diagnostics.  ``report`` carries the full
+    :class:`repro.analysis.LintReport`.
+    """
+
+    def __init__(self, message: str, report: object = None) -> None:
+        super().__init__(message)
+        self.report = report
+
+
 class PlacementError(MappingError):
     """Zig-zag placement could not place a node group on the mesh."""
 

@@ -46,6 +46,12 @@ from repro.serving.policies import (
     TimeSharedPolicy,
 )
 from repro.serving.queues import AdmissionQueue, DISCIPLINES
+from repro.serving.scenarios import (
+    SCENARIOS,
+    bursty_tenants,
+    mixed_rate_tenants,
+    smoke_tenants,
+)
 from repro.serving.service import ServiceModel
 from repro.serving.simulator import ServingSimulator
 from repro.serving.slo import (
@@ -68,6 +74,7 @@ __all__ = [
     "Request",
     "ResizeAction",
     "ResizeEvent",
+    "SCENARIOS",
     "SHARED_SERVER",
     "SLO_LATENCY_BUCKETS_MS",
     "ServiceModel",
@@ -79,4 +86,7 @@ __all__ = [
     "TenantReport",
     "TimeSharedPolicy",
     "TraceArrivals",
+    "bursty_tenants",
+    "mixed_rate_tenants",
+    "smoke_tenants",
 ]

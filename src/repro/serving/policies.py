@@ -28,11 +28,15 @@ import math
 from dataclasses import dataclass, field
 from typing import Dict, List, Mapping, Optional, Sequence
 
+from repro.analysis.diagnostics import LintReport
+from repro.analysis.plan import ResidentPlan
+from repro.analysis.system import analyze_plan
 from repro.core.multi_dnn import MultiDNNScheduler
 from repro.errors import SimulationError
 from repro.mapping.allocation import proportional_shares
 from repro.serving.service import ServiceModel
 from repro.serving.tenancy import TenantSpec
+from repro.sim.config import SimConfig
 
 #: Server id of the single time-shared array.
 SHARED_SERVER = "chip"
@@ -102,6 +106,20 @@ class ServingPolicy:
         """React to a control tick; return a resize or ``None``."""
         return None
 
+    def preflight(
+        self, tenants: Sequence[TenantSpec]
+    ) -> Optional[LintReport]:
+        """Static admission analysis of the prepared partition layout.
+
+        Called by :class:`~repro.serving.simulator.ServingSimulator`
+        after :meth:`prepare`; error-severity findings reject the run
+        before any sim cycles are spent.  Policies that partition the
+        array return the co-residency ``PLAN6xx`` report
+        (:func:`repro.analysis.analyze_plan`); the base policy has no
+        plan view and returns ``None`` (nothing to check).
+        """
+        return None
+
 
 class StaticPartitionPolicy(ServingPolicy):
     """Fixed spatial partitions from the offline multi-DNN scheduler."""
@@ -112,14 +130,34 @@ class StaticPartitionPolicy(ServingPolicy):
         super().__init__()
         self.scheduler = scheduler or MultiDNNScheduler()
         self._networks: Dict[str, object] = {}
+        self._residents: List[ResidentPlan] = []
 
     def prepare(self, tenants: Sequence[TenantSpec]) -> None:
         run = self.scheduler.run([t.network for t in tenants])
         self._networks = {t.name: t.network for t in tenants}
+        self._residents = [
+            ResidentPlan(
+                name=tenant.name,
+                plan=model_run.result.plan,
+                region_start=model_run.region_start,
+            )
+            for tenant, model_run in zip(tenants, run.runs)
+        ]
         for tenant, model_run in zip(tenants, run.runs):
             self._servers[tenant.name] = tenant.name
             self._service_ms[tenant.name] = model_run.latency_ms
             self._shares[tenant.name] = model_run.partition_cores
+
+    def preflight(
+        self, tenants: Sequence[TenantSpec]
+    ) -> Optional[LintReport]:
+        if not self._residents:
+            return None
+        return analyze_plan(
+            co_resident=self._residents,
+            config=SimConfig(array_size=self.scheduler.array_size),
+            families=("plan",),
+        )
 
     def batched_service_ms(self, tenant: str, count: int) -> float:
         if count < 1:
@@ -235,6 +273,31 @@ class ElasticPolicy(ServingPolicy):
             starts[tenant.name] = offset
             offset += self._shares[tenant.name]
         return starts
+
+    def preflight(
+        self, tenants: Sequence[TenantSpec]
+    ) -> Optional[LintReport]:
+        if not self._tenants:
+            return None
+        starts = self.region_starts()
+        # partition_run hits the service model's memo (prepare() already
+        # simulated every share), so admission analysis costs no extra
+        # tier cycles.
+        residents = [
+            ResidentPlan(
+                name=t.name,
+                plan=self.service.partition_run(
+                    t.network, self._shares[t.name]
+                ).plan,
+                region_start=starts[t.name],
+            )
+            for t in self._tenants
+        ]
+        return analyze_plan(
+            co_resident=residents,
+            config=SimConfig(array_size=self.service.array_size),
+            families=("plan",),
+        )
 
     def on_interval(
         self, now_ms: float, observations: Mapping[str, TenantObservation]

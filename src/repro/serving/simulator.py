@@ -34,7 +34,8 @@ import math
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence
 
-from repro.errors import SimulationError
+from repro.analysis.determinism import accesses_from_queue, check_batches
+from repro.errors import PlanVerificationError, SimulationError
 from repro.serving.policies import ResizeAction, ServingPolicy, TenantObservation
 from repro.serving.queues import DISCIPLINES, AdmissionQueue
 from repro.serving.slo import ResizeEvent, ServingRunResult, TenantReport
@@ -64,6 +65,7 @@ class ServingSimulator:
         *,
         discipline: str = "fifo",
         batch_requests: int = 1,
+        preflight: bool = True,
         telemetry: Optional[TelemetrySink] = None,
     ) -> None:
         if discipline not in DISCIPLINES:
@@ -76,6 +78,13 @@ class ServingSimulator:
             )
         self.policy = policy
         self.discipline = discipline
+        #: Static admission gate: after ``policy.prepare`` the policy's
+        #: :meth:`~repro.serving.policies.ServingPolicy.preflight` report
+        #: and a determinism scan of the initial event population must be
+        #: error-free, or the run raises
+        #: :class:`~repro.errors.PlanVerificationError` before any
+        #: sim-time is spent.  ``False`` opts out.
+        self.preflight = preflight
         #: Weight-stationary request batching: a free server may pull up
         #: to this many queued requests *of the same tenant* and serve
         #: them back to back at the policy's batched service time
@@ -102,6 +111,14 @@ class ServingSimulator:
         for tenant in tenants:
             tenant.arrivals.reset()
         self.policy.prepare(tenants)
+        if self.preflight:
+            admission = self.policy.preflight(tenants)
+            if admission is not None and not admission.ok:
+                raise PlanVerificationError(
+                    "serving admission rejected the partition layout:\n"
+                    + admission.render(),
+                    admission,
+                )
 
         queue = EventQueue(telemetry=self._telemetry)
         reports = {t.name: TenantReport(tenant=t.name) for t in tenants}
@@ -161,7 +178,9 @@ class ServingSimulator:
                         dispatch(server)
 
                     queue.schedule(
-                        state.stall_until_ms, resume, tag="serving/resume"
+                        state.stall_until_ms, resume, tag="serving/resume",
+                        actor=f"server/{server}",
+                        writes=(f"server/{server}",),
                     )
                 return
             request = pick(server)
@@ -205,6 +224,8 @@ class ServingSimulator:
                 finish,
                 lambda: complete(server, batch, service, finish),
                 tag="serving/completion",
+                actor=f"server/{server}",
+                writes=(f"server/{server}",),
             )
 
         def complete(
@@ -249,7 +270,15 @@ class ServingSimulator:
         def schedule_arrival(tenant: TenantSpec, t: Optional[float]) -> None:
             if t is None or t >= duration_ms:
                 return
-            queue.schedule(t, lambda: arrive(tenant, t), tag="serving/arrival")
+            # Happens-before annotation: an arrival's primary effect is
+            # its own tenant's admission queue, so simultaneous arrivals
+            # of *different* tenants commute (the determinism scan below
+            # checks exactly this).
+            queue.schedule(
+                t, lambda: arrive(tenant, t), tag="serving/arrival",
+                actor=f"tenant/{tenant.name}",
+                writes=(f"queue/{tenant.name}",),
+            )
 
         def arrive(tenant: TenantSpec, t: float) -> None:
             report = reports[tenant.name]
@@ -340,7 +369,22 @@ class ServingSimulator:
             for k in range(1, ticks + 1):
                 t = k * interval
                 if t < duration_ms:
-                    queue.schedule(t, lambda t=t: control(t), tag="serving/control")
+                    queue.schedule(
+                        t, lambda t=t: control(t), tag="serving/control",
+                        actor="control",
+                        writes=("partition",),
+                    )
+        if self.preflight:
+            # Static determinism scan of the initial event population:
+            # any same-timestamp write-write conflict across actors would
+            # make batched draining order-sensitive (DET801).
+            det = check_batches(accesses_from_queue(queue))
+            if not det.ok:
+                raise PlanVerificationError(
+                    "serving admission found a non-commutative event "
+                    "batch:\n" + det.render(),
+                    det,
+                )
         queue.run()
 
         return ServingRunResult(

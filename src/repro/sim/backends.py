@@ -46,7 +46,12 @@ from repro.core.event_streaming import EventDrivenSegmentSimulator
 from repro.core.perfmodel import LayerTiming, PerformanceModel
 from repro.core.streaming import CoreBreakdown, SegmentResult, SegmentSimulator
 from repro.energy.power import EnergyModel, OpCounts
-from repro.errors import BackendError, MappingError, SimulationError
+from repro.errors import (
+    BackendError,
+    MappingError,
+    PlanVerificationError,
+    SimulationError,
+)
 from repro.mapping.segmentation import SegmentPlan
 from repro.mapping.tiling import tile_network
 from repro.nn.workloads import NetworkSpec
@@ -479,6 +484,20 @@ def simulate(
     network = tile_network(network, cfg.capacity, cfg.array_size)
     if plan is None:
         plan = plan_network(network, cfg.strategy, cfg)
+    if cfg.preflight:
+        # Static pre-flight: reject plans that violate capacity/budget
+        # invariants before the tier spends any cycles.  Runs only the
+        # closed-form ``plan`` family, so even the analytic tier pays
+        # well under 1% (docs/ANALYSIS.md).  Function-level import: the
+        # analysis package is only loaded when the gate is on.
+        from repro.analysis.system import analyze_plan
+
+        report = analyze_plan(plan=plan, config=cfg, families=("plan",))
+        if not report.ok:
+            raise PlanVerificationError(
+                "pre-flight plan verification failed:\n" + report.render(),
+                report,
+            )
     return tier.run(network, plan, cfg)
 
 

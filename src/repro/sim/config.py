@@ -67,6 +67,14 @@ class SimConfig:
     #: ``cycle`` tier: seed for the synthesized int8 weights/ifmaps the
     #: numerics check executes.
     seed: int = 0
+    #: Static pre-flight gate: before any tier spends cycles,
+    #: ``simulate()`` runs the ``PLAN6xx`` plan verifier
+    #: (:func:`repro.analysis.analyze_plan`, ``plan`` family only) and
+    #: raises :class:`repro.errors.PlanVerificationError` on
+    #: error-severity findings.  ``False`` opts out — e.g. to simulate a
+    #: deliberately broken plan, or to shave the last microseconds off a
+    #: hot control loop (docs/ANALYSIS.md, "The pre-flight gate").
+    preflight: bool = True
 
     def __post_init__(self) -> None:
         if self.array_size < 2:

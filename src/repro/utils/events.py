@@ -28,12 +28,24 @@ from repro.telemetry import TelemetrySink, current as _current_telemetry
 
 @dataclass
 class Event:
-    """A scheduled callback.  Queue ordering is (time, seq)."""
+    """A scheduled callback.  Queue ordering is (time, seq).
+
+    ``actor``/``reads``/``writes`` are optional happens-before
+    annotations consumed by :mod:`repro.analysis.determinism`: the actor
+    that owns the callback and the resources it touches.  Unannotated
+    events (the defaults) are invisible to the race detector; annotated
+    same-timestamp events from *different* actors writing one resource
+    are exactly what makes a :meth:`EventQueue.step_batch` drain
+    order-sensitive.
+    """
 
     time: float
     seq: int
     action: Callable[[], Any] = field(compare=False)
     tag: str = field(default="", compare=False)
+    actor: str = field(default="", compare=False)
+    reads: Tuple[str, ...] = field(default=(), compare=False)
+    writes: Tuple[str, ...] = field(default=(), compare=False)
 
     def __lt__(self, other: "Event") -> bool:
         # Events rarely meet a comparison (the heap orders tuples), but
@@ -73,21 +85,64 @@ class EventQueue:
     def __len__(self) -> int:
         return len(self._heap)
 
-    def schedule(self, time: float, action: Callable[[], Any], tag: str = "") -> Event:
-        """Schedule ``action`` at absolute ``time``; returns the Event."""
+    def pending(self) -> List[Event]:
+        """Undispatched events in (time, seq) dispatch order.
+
+        A snapshot for static inspection (the determinism checker audits
+        pending same-timestamp batches before a run); the heap itself is
+        untouched.
+        """
+        return [entry[2] for entry in sorted(self._heap)]
+
+    def schedule(
+        self,
+        time: float,
+        action: Callable[[], Any],
+        tag: str = "",
+        *,
+        actor: str = "",
+        reads: Tuple[str, ...] = (),
+        writes: Tuple[str, ...] = (),
+    ) -> Event:
+        """Schedule ``action`` at absolute ``time``; returns the Event.
+
+        ``actor``/``reads``/``writes`` annotate the event for the
+        determinism checker (see :class:`Event`); they cost nothing on
+        the dispatch hot path.
+        """
         if time < self._now:
             raise SimulationError(
                 f"cannot schedule event at t={time} before current time {self._now}"
             )
-        event = Event(time=time, seq=next(self._counter), action=action, tag=tag)
+        event = Event(
+            time=time,
+            seq=next(self._counter),
+            action=action,
+            tag=tag,
+            actor=actor,
+            reads=reads,
+            writes=writes,
+        )
         heapq.heappush(self._heap, (event.time, event.seq, event))
         return event
 
-    def schedule_in(self, delay: float, action: Callable[[], Any], tag: str = "") -> Event:
+    def schedule_in(
+        self,
+        delay: float,
+        action: Callable[[], Any],
+        tag: str = "",
+        *,
+        actor: str = "",
+        reads: Tuple[str, ...] = (),
+        writes: Tuple[str, ...] = (),
+    ) -> Event:
         """Schedule ``action`` ``delay`` time units from now."""
         if delay < 0:
             raise SimulationError(f"negative delay {delay}")
-        return self.schedule(self._now + delay, action, tag)
+        return self.schedule(
+            self._now + delay, action, tag,
+            actor=actor, reads=reads, writes=writes,
+        )
 
     def _emit(self, event: Event) -> None:
         t = self._telemetry

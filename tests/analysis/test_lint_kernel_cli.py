@@ -1,0 +1,87 @@
+"""Exit-code contract of scripts/lint_kernel.py.
+
+Pinned contract (CI and editor integrations depend on it): 0 clean,
+1 error diagnostics (or, with ``--strict``, warnings), 2 usage/assembly
+failure, 3 failed ``--confirm`` cross-check.  JSON mode must honor the
+same codes.
+"""
+
+import json
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+REPO = Path(__file__).resolve().parents[2]
+
+CLEAN_KERNEL = "li a0, 1\nli a1, 2\nadd a2, a0, a1\nsw a2, 0(zero)\nhalt\n"
+BROKEN_KERNEL = "mac.c a0, 9, 0, 8, 8\nhalt\n"       # CMEM301 error
+WARNING_KERNEL = "j end\nli a0, 1\nend: halt\n"      # PROG104 warning
+
+
+def lint_kernel(*args):
+    return subprocess.run(
+        [sys.executable, str(REPO / "scripts" / "lint_kernel.py"), *args],
+        capture_output=True,
+        text=True,
+        cwd=REPO,
+        env={"PYTHONPATH": str(REPO / "src"), "PATH": "/usr/bin:/bin"},
+    )
+
+
+@pytest.fixture
+def kernel_file(tmp_path):
+    def write(text, name="kernel.s"):
+        path = tmp_path / name
+        path.write_text(text)
+        return str(path)
+
+    return write
+
+
+class TestExitCodes:
+    def test_clean_kernel_exits_0(self, kernel_file):
+        proc = lint_kernel(kernel_file(CLEAN_KERNEL))
+        assert proc.returncode == 0, proc.stdout + proc.stderr
+
+    def test_error_diagnostics_exit_1(self, kernel_file):
+        proc = lint_kernel(kernel_file(BROKEN_KERNEL))
+        assert proc.returncode == 1
+        assert "CMEM301" in proc.stdout
+
+    def test_warning_is_clean_without_strict(self, kernel_file):
+        proc = lint_kernel(kernel_file(WARNING_KERNEL))
+        assert proc.returncode == 0
+
+    def test_strict_promotes_warning_to_exit_1(self, kernel_file):
+        proc = lint_kernel(kernel_file(WARNING_KERNEL), "--strict")
+        assert proc.returncode == 1
+
+    def test_no_inputs_is_usage_error_2(self):
+        proc = lint_kernel()
+        assert proc.returncode == 2
+
+    def test_missing_file_is_usage_error_2(self):
+        proc = lint_kernel("/nonexistent/kernel.s")
+        assert proc.returncode == 2
+        assert "lint_kernel:" in proc.stderr
+
+    def test_unparseable_assembly_is_usage_error_2(self, kernel_file):
+        proc = lint_kernel(kernel_file("not an opcode at all\n"))
+        assert proc.returncode == 2
+
+
+class TestJsonMode:
+    def test_json_clean_exits_0(self, kernel_file):
+        proc = lint_kernel(kernel_file(CLEAN_KERNEL), "--json")
+        assert proc.returncode == 0
+        payload = json.loads(proc.stdout)
+        assert payload["clean"] is True
+
+    def test_json_error_exits_1_with_diagnostics(self, kernel_file):
+        proc = lint_kernel(kernel_file(BROKEN_KERNEL), "--json")
+        assert proc.returncode == 1
+        payload = json.loads(proc.stdout)
+        assert payload["errors"] >= 1
+        assert any(d["rule"] == "CMEM301" for d in payload["diagnostics"])

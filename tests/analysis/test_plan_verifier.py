@@ -1,0 +1,142 @@
+"""The PLAN6xx plan verifier: clean shipped plans, seeded-broken negatives."""
+
+import pytest
+
+from repro.analysis import ResidentPlan, verify_plan
+from repro.mapping.allocation import AllocationResult
+from repro.mapping.segmentation import Segment, SegmentPlan
+from repro.nn.workloads import ConvLayerSpec, NetworkSpec, resnet18_spec, small_cnn_spec
+from repro.sim.accounting import plan_network
+from repro.sim.config import SimConfig
+
+
+def rules_of(report):
+    return {d.rule for d in report.diagnostics}
+
+
+def make_plan(network=None, *, array_size=None, strategy="heuristic"):
+    config = SimConfig() if array_size is None else SimConfig(array_size=array_size)
+    return plan_network(network or small_cnn_spec(), strategy, config), config
+
+
+def manual_plan(spec, nodes, *, bottleneck_time=1.0):
+    """A hand-built one-segment plan (the kind the verifier exists for)."""
+    segment = Segment(
+        layers=[spec],
+        allocation=AllocationResult(
+            nodes={spec.index: nodes},
+            times={spec.index: bottleneck_time},
+            bottleneck_time=bottleneck_time,
+        ),
+    )
+    network = NetworkSpec(name="manual", layers=(spec,))
+    return SegmentPlan(strategy="manual", network=network, segments=[segment])
+
+
+class TestCleanPlans:
+    def test_resnet18_heuristic_lints_clean(self):
+        plan, config = make_plan(resnet18_spec())
+        report = verify_plan(plan, config)
+        assert report.clean, report.render()
+
+    def test_small_cnn_lints_clean(self):
+        plan, config = make_plan()
+        report = verify_plan(plan, config)
+        assert report.clean, report.render()
+
+    def test_program_length_counts_layers(self):
+        plan, config = make_plan()
+        report = verify_plan(plan, config)
+        assert report.program_length == sum(
+            len(s.layers) for s in plan.segments
+        )
+
+
+class TestCapacityRules:
+    def test_zeroed_node_group_is_plan601(self):
+        plan, config = make_plan()
+        segment = plan.segments[0]
+        segment.allocation.nodes[segment.layers[0].index] = 0
+        report = verify_plan(plan, config)
+        assert "PLAN601" in rules_of(report)
+        assert not report.ok
+
+    def test_segment_larger_than_array_is_plan602(self):
+        plan, _ = make_plan()
+        report = verify_plan(plan, SimConfig(array_size=4))
+        assert "PLAN602" in rules_of(report)
+
+    def test_64bit_vectors_leave_no_slots_plan603(self):
+        spec = ConvLayerSpec(1, "wide", h=4, w=4, c=256, m=4, n_bits=64)
+        report = verify_plan(manual_plan(spec, nodes=4))
+        assert "PLAN603" in rules_of(report)
+
+    def test_staging_overflow_is_plan604(self):
+        # 512 filters of 3x3x256 into one node's ~14 KiB of CMem.
+        spec = ConvLayerSpec(1, "fat", h=8, w=8, c=256, m=512)
+        report = verify_plan(manual_plan(spec, nodes=1))
+        assert "PLAN604" in rules_of(report)
+
+
+class TestCoResidency:
+    def _resident(self, name, start, *, bottleneck_time=1.0):
+        spec = ConvLayerSpec(1, f"{name}0", h=4, w=4, c=32, m=2)
+        return ResidentPlan(
+            name=name,
+            plan=manual_plan(spec, nodes=2, bottleneck_time=bottleneck_time),
+            region_start=start,
+        )
+
+    def test_disjoint_regions_clean(self):
+        residents = [self._resident("a", 0), self._resident("b", 8)]
+        report = verify_plan(co_resident=residents)
+        assert report.clean, report.render()
+
+    def test_overlapping_regions_are_plan606(self):
+        residents = [self._resident("a", 0), self._resident("b", 1)]
+        report = verify_plan(co_resident=residents)
+        assert "PLAN606" in rules_of(report)
+        assert not report.ok
+
+    def test_region_past_snake_walk_is_plan602(self):
+        report = verify_plan(co_resident=[self._resident("edge", 209)])
+        assert "PLAN602" in rules_of(report)
+
+    def test_oversubscribed_total_is_plan602(self):
+        plan, config = make_plan(resnet18_spec())
+        residents = [
+            ResidentPlan("a", plan, region_start=0),
+            ResidentPlan("b", plan, region_start=0),
+        ]
+        report = verify_plan(config=config, co_resident=residents)
+        assert "PLAN602" in rules_of(report)
+
+    def test_many_hot_tenants_warn_plan605(self):
+        # Seven tenants each saturating their filter-load port demand
+        # 7 x 16 = 112 B/cycle against the ~108 B/cycle channel budget.
+        residents = [
+            self._resident(f"t{i}", 8 * i, bottleneck_time=1.0)
+            for i in range(7)
+        ]
+        report = verify_plan(co_resident=residents)
+        assert "PLAN605" in rules_of(report)
+        assert report.ok  # warning, not error
+
+    def test_few_tenants_skip_dram_warning(self):
+        residents = [self._resident("a", 0), self._resident("b", 8)]
+        report = verify_plan(co_resident=residents)
+        assert "PLAN605" not in rules_of(report)
+
+
+class TestResidentPlan:
+    def test_footprint_is_widest_segment(self):
+        plan, _ = make_plan(resnet18_spec())
+        resident = ResidentPlan("r18", plan)
+        assert resident.footprint == max(
+            s.total_nodes for s in plan.segments
+        )
+
+    def test_empty_plan_has_zero_footprint(self):
+        network = NetworkSpec(name="empty", layers=())
+        plan = SegmentPlan(strategy="manual", network=network, segments=[])
+        assert ResidentPlan("none", plan).footprint == 0

@@ -1,0 +1,79 @@
+"""The simulate() pre-flight gate: broken plans die before any tier runs."""
+
+import pytest
+
+from repro.errors import PlanVerificationError, ReproError
+from repro.nn.workloads import small_cnn_spec
+from repro.sim import SimConfig, simulate
+from repro.sim.accounting import plan_network
+
+
+def broken_plan(config):
+    plan = plan_network(small_cnn_spec(), config.strategy, config)
+    segment = plan.segments[0]
+    segment.allocation.nodes[segment.layers[0].index] = 0
+    return plan
+
+
+class TestPreflightGate:
+    def test_clean_network_passes_the_gate(self):
+        report = simulate(small_cnn_spec(), backend="analytic")
+        assert report.latency_ms > 0
+
+    def test_broken_plan_is_rejected_statically(self):
+        config = SimConfig()
+        with pytest.raises(PlanVerificationError) as excinfo:
+            simulate(
+                small_cnn_spec(),
+                backend="analytic",
+                config=config,
+                plan=broken_plan(config),
+            )
+        assert "PLAN601" in str(excinfo.value)
+
+    def test_rejection_carries_the_report(self):
+        config = SimConfig()
+        with pytest.raises(PlanVerificationError) as excinfo:
+            simulate(
+                small_cnn_spec(),
+                backend="analytic",
+                config=config,
+                plan=broken_plan(config),
+            )
+        report = excinfo.value.report
+        assert report is not None and not report.ok
+        assert any(d.rule == "PLAN601" for d in report.diagnostics)
+
+    def test_preflight_false_opts_out(self):
+        config = SimConfig(preflight=False)
+        # With the gate off the broken plan reaches the tier; whatever
+        # happens there, it must not be the static pre-flight rejection.
+        try:
+            simulate(
+                small_cnn_spec(),
+                backend="analytic",
+                config=config,
+                plan=broken_plan(config),
+            )
+        except PlanVerificationError:
+            pytest.fail("preflight=False must disable the static gate")
+        except ReproError:
+            pass  # the tier is allowed to fail on garbage input
+
+    def test_gate_runs_on_every_tier(self):
+        config = SimConfig()
+        for backend in ("analytic", "streaming"):
+            with pytest.raises(PlanVerificationError):
+                simulate(
+                    small_cnn_spec(),
+                    backend=backend,
+                    config=config,
+                    plan=broken_plan(config),
+                )
+
+    def test_error_is_a_mapping_error(self):
+        # PlanVerificationError subclasses MappingError: existing callers
+        # catching mapping failures also catch pre-flight rejections.
+        from repro.errors import MappingError
+
+        assert issubclass(PlanVerificationError, MappingError)
