@@ -1,0 +1,174 @@
+#!/usr/bin/env python3
+"""Render a run into a self-contained HTML dashboard + JSON artifact.
+
+Two report kinds, one schema (``maicc-obs-report/1``):
+
+``serving``   replays a load scenario (``repro.serving.scenarios``) with
+              telemetry and an SLO monitor attached, then renders the
+              per-tenant latency attribution, the windowed time series
+              (throughput, p99, queue depth, utilization, shed), and
+              every burn-rate / queue-growth / resize-thrash alert.
+``xcheck``    runs each workload through every ``repro.sim`` backend on
+              one mapped plan and renders the cross-tier comparison
+              table beside each tier's cycle attribution.
+
+Both artifacts are byte-deterministic: every number is simulation-
+derived and nothing reads the wall clock, so the CI ``obs-smoke`` job
+generates each report twice and diffs the bytes.
+
+Run:  PYTHONPATH=src python scripts/report.py serving \\
+          --scenario mixed-rate-overloaded --policy elastic \\
+          --out report.html --json-out report.json
+      PYTHONPATH=src python scripts/report.py xcheck --workload tiny \\
+          --out xreport.html --json-out xreport.json
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+from typing import Dict
+
+sys.path.insert(0, os.path.join(os.path.dirname(__file__), "..", "src"))
+sys.path.insert(0, os.path.dirname(os.path.abspath(__file__)))
+
+from xcheck import WORKLOADS  # noqa: E402  (sibling script, single source)
+
+from repro import telemetry  # noqa: E402
+from repro.core.multi_dnn import MultiDNNScheduler  # noqa: E402
+from repro.obs.html import render_html  # noqa: E402
+from repro.obs.monitor import SLOConfig, SLOMonitor  # noqa: E402
+from repro.obs.report import (  # noqa: E402
+    build_serving_report,
+    build_xcheck_report,
+    validate_report,
+)
+from repro.serving import (  # noqa: E402
+    ElasticPolicy,
+    ServiceModel,
+    ServingPolicy,
+    ServingSimulator,
+    StaticPartitionPolicy,
+    TimeSharedPolicy,
+)
+from repro.serving.scenarios import SCENARIOS  # noqa: E402
+from repro.sim import available_backends, cross_check, simulate  # noqa: E402
+from repro.sim.report import RunReport  # noqa: E402
+
+POLICIES = ("static", "time-shared", "elastic")
+
+
+def build_policy(name: str, scheduler: MultiDNNScheduler) -> ServingPolicy:
+    if name == "static":
+        return StaticPartitionPolicy(scheduler)
+    if name == "time-shared":
+        return TimeSharedPolicy(scheduler)
+    if name == "elastic":
+        return ElasticPolicy(ServiceModel(scheduler), control_interval_ms=10.0)
+    raise SystemExit(f"unknown policy {name!r}")
+
+
+def serving_report(args: argparse.Namespace) -> Dict[str, object]:
+    tenant_factory, default_duration = SCENARIOS[args.scenario]
+    duration_ms = args.duration_ms or default_duration
+    scheduler = MultiDNNScheduler(backend=args.backend)
+    policy = build_policy(args.policy, scheduler)
+    sink = telemetry.Telemetry()
+    monitor = SLOMonitor(SLOConfig(window_ms=args.window_ms))
+    simulator = ServingSimulator(
+        policy,
+        discipline=args.discipline,
+        telemetry=sink,
+        monitor=monitor,
+    )
+    result = simulator.run(tenant_factory(), duration_ms)
+    assert sink.registry is not None
+    series = sink.registry.as_dict()["series"]
+    print(
+        f"{args.scenario}: {result.total_completed} completed, "
+        f"{result.total_shed} shed, {len(result.alerts)} alert(s)"
+    )
+    return build_serving_report(
+        result,
+        scenario=args.scenario,
+        window_ms=args.window_ms,
+        series=series,  # type: ignore[arg-type]
+    )
+
+
+def xcheck_report(args: argparse.Namespace) -> Dict[str, object]:
+    names = sorted(WORKLOADS) if args.workload == "all" else [args.workload]
+    backends = args.backends or list(available_backends())
+    xchecks = []
+    runs: Dict[str, Dict[str, RunReport]] = {}
+    for name in names:
+        network = WORKLOADS[name]()
+        xchecks.append(
+            cross_check(network, strategy=args.strategy, backends=backends)
+        )
+        runs[network.name] = {
+            backend: simulate(network, backend=backend, strategy=args.strategy)
+            for backend in backends
+        }
+        print(f"{name}: {len(backends)} tier(s) "
+              f"{'agree' if xchecks[-1].ok else 'DISAGREE'}")
+    return build_xcheck_report(xchecks, runs)
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        description=__doc__,
+        formatter_class=argparse.RawDescriptionHelpFormatter,
+    )
+    sub = parser.add_subparsers(dest="kind", required=True)
+
+    serving = sub.add_parser("serving", help="serving-run dashboard")
+    serving.add_argument("--scenario", choices=sorted(SCENARIOS), required=True)
+    serving.add_argument("--policy", choices=POLICIES, default="elastic")
+    serving.add_argument("--discipline", choices=("fifo", "edf"),
+                         default="fifo")
+    serving.add_argument("--duration-ms", type=float, default=None,
+                         help="override the scenario's default window")
+    serving.add_argument("--backend", default=None, metavar="NAME",
+                         help="repro.sim tier service times are computed on")
+    serving.add_argument("--window-ms", type=float, default=10.0,
+                         help="SLO monitor / time-series window (default 10)")
+
+    xcheck = sub.add_parser("xcheck", help="cross-tier dashboard")
+    xcheck.add_argument("--workload", choices=sorted(WORKLOADS) + ["all"],
+                        default="all")
+    xcheck.add_argument("--strategy", default="heuristic")
+    xcheck.add_argument("--backends", nargs="*", default=None, metavar="NAME",
+                        help="tiers to compare (default: all registered)")
+
+    for p in (serving, xcheck):
+        p.add_argument("--out", metavar="PATH", default=None,
+                       help="write the HTML dashboard here")
+        p.add_argument("--json-out", metavar="PATH", default=None,
+                       help="write the JSON report document here")
+
+    args = parser.parse_args(argv)
+    if args.kind == "serving":
+        doc = serving_report(args)
+    else:
+        doc = xcheck_report(args)
+    validate_report(doc)
+
+    if args.json_out:
+        with open(args.json_out, "w") as f:
+            json.dump(doc, f, indent=2, sort_keys=True)
+            f.write("\n")
+        print(f"wrote {args.json_out}")
+    if args.out:
+        with open(args.out, "w") as f:
+            f.write(render_html(doc))
+        print(f"wrote {args.out}")
+    if not args.out and not args.json_out:
+        print("(no --out/--json-out given; report validated only)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

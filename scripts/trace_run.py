@@ -43,7 +43,7 @@ from repro.noc.mesh import MeshNoC
 from repro.noc.packet import Packet, PacketKind
 from repro.riscv.core import Core
 from repro.riscv.memory import DRAM_BASE
-from repro.sim import simulate
+from repro.sim import available_backends, simulate
 from repro.telemetry.hooks import publish_noc
 from repro.telemetry.trace import validate_chrome_trace
 from repro.utils.events import EventQueue
@@ -169,9 +169,8 @@ def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("--workload", choices=sorted(WORKLOADS), default="tiny")
     parser.add_argument(
-        "--backend", metavar="NAME", default="streaming",
-        help="repro.sim tier for the chip-level summary section "
-             "(analytic/streaming/event/cycle)",
+        "--backend", choices=sorted(available_backends()), default="streaming",
+        help="repro.sim tier for the chip-level summary section",
     )
     parser.add_argument("--metrics-out", metavar="PATH", default="metrics.json")
     parser.add_argument("--trace-out", metavar="PATH", default="trace.json")

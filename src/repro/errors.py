@@ -112,3 +112,7 @@ class SchedulingError(ReproError):
 
 class TelemetryError(ReproError):
     """Invalid metric path, trace event, or malformed exported trace."""
+
+
+class ObservabilityError(ReproError):
+    """Broken attribution invariant, alert config, or report schema."""

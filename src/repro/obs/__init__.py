@@ -1,0 +1,55 @@
+"""Observability: latency attribution, SLO monitoring, and run reports.
+
+``repro.obs`` sits on top of the telemetry layer and answers the
+operator's questions about a serving or cross-tier run:
+
+* **Where did the time go?** — :mod:`repro.obs.timeline` decomposes
+  every completed request into named phases (queue wait, DRAM filter
+  load, NoC staging, compute, drain) that sum *bit-exactly* to its
+  end-to-end latency.
+* **Is the SLO burning?** — :mod:`repro.obs.monitor` watches windowed
+  time series and raises structured alerts (burn rate, queue-growth
+  onset, resize thrash) that policies may treat as advisory signals.
+* **What happened, on one page?** — :mod:`repro.obs.report` and
+  :mod:`repro.obs.html` render a run into a deterministic JSON artifact
+  and a self-contained HTML dashboard (``scripts/report.py``).
+
+Everything here is deterministic: identical seeded runs produce
+byte-identical timelines, alert streams, and report files.
+"""
+
+from repro.obs.monitor import (
+    ALERT_KINDS,
+    AlertEvent,
+    DEFAULT_WINDOW_MS,
+    SLOConfig,
+    SLOMonitor,
+)
+from repro.obs.timeline import (
+    PHASE_CATEGORIES,
+    AttributionTable,
+    Phase,
+    PhaseSpec,
+    RequestTimeline,
+    fit_durations,
+    report_phases,
+    scale_phases,
+    timeline_from_report,
+)
+
+__all__ = [
+    "ALERT_KINDS",
+    "AlertEvent",
+    "AttributionTable",
+    "DEFAULT_WINDOW_MS",
+    "PHASE_CATEGORIES",
+    "Phase",
+    "PhaseSpec",
+    "RequestTimeline",
+    "SLOConfig",
+    "SLOMonitor",
+    "fit_durations",
+    "report_phases",
+    "scale_phases",
+    "timeline_from_report",
+]

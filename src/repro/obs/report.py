@@ -1,0 +1,187 @@
+"""The run-report artifact: one JSON document describing a whole run.
+
+``scripts/report.py`` renders a serving or cross-tier run into two
+artifacts sharing one source of truth:
+
+* a **JSON document** under the ``maicc-obs-report/1`` schema — the
+  machine-readable record ``scripts/bench.py --check`` and the CI
+  ``obs-smoke`` job consume, validated by :func:`validate_report`;
+* a **self-contained HTML dashboard** (:mod:`repro.obs.html`) rendered
+  as a pure function of that document.
+
+Both are byte-deterministic: every number is simulation-derived, every
+mapping is emitted in sorted order, and nothing reads the wall clock —
+the CI job diffs two generated reports byte-for-byte.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Mapping, Optional, Sequence
+
+from repro.errors import ObservabilityError
+from repro.obs.timeline import PHASE_CATEGORIES, timeline_from_report
+from repro.serving.slo import ServingRunResult
+from repro.sim.report import RunReport
+from repro.sim.xcheck import XCheckReport
+
+#: The report schema identifier; bump the suffix on breaking changes.
+SCHEMA = "maicc-obs-report/1"
+
+REPORT_KINDS = ("serving", "xcheck")
+
+
+def build_serving_report(
+    result: ServingRunResult,
+    *,
+    scenario: str,
+    window_ms: float,
+    series: Optional[Mapping[str, Mapping[str, object]]] = None,
+) -> Dict[str, object]:
+    """The serving-run report document.
+
+    ``series`` is the windowed-series section of a
+    :meth:`repro.telemetry.MetricsRegistry.as_dict` export (path ->
+    series dict); pass the run's registry series so the dashboard can
+    draw its time panels.
+    """
+    return {
+        "schema": SCHEMA,
+        "kind": "serving",
+        "meta": {
+            "scenario": scenario,
+            "policy": result.policy,
+            "discipline": result.discipline,
+            "duration_ms": result.duration_ms,
+            "window_ms": window_ms,
+        },
+        "serving": result.as_dict(),
+        "series": {path: dict(data) for path, data in sorted(
+            (series or {}).items()
+        )},
+        "alerts": [alert.as_dict() for alert in result.alerts],
+    }
+
+
+def build_xcheck_report(
+    xchecks: Sequence[XCheckReport],
+    runs: Mapping[str, Mapping[str, RunReport]],
+) -> Dict[str, object]:
+    """The cross-tier report document.
+
+    ``runs`` maps workload name -> backend name -> the tier's
+    :class:`~repro.sim.report.RunReport`; each is decomposed through
+    :func:`repro.obs.timeline.timeline_from_report`, so the per-phase
+    cycle table and the serving attribution derive from the same code
+    path.
+    """
+    workloads: Dict[str, object] = {}
+    for xcheck in xchecks:
+        tier_runs = runs.get(xcheck.network, {})
+        tiers: Dict[str, object] = {}
+        for backend in sorted(tier_runs):
+            timeline = timeline_from_report(tier_runs[backend])
+            tiers[backend] = {
+                "total_cycles": tier_runs[backend].total_cycles,
+                "latency_ms": tier_runs[backend].latency_ms,
+                "phases": {p.name: p.duration for p in timeline.phases},
+                "categories": {p.name: p.category for p in timeline.phases},
+            }
+        workloads[xcheck.network] = {
+            "xcheck": xcheck.as_dict(),
+            "tiers": tiers,
+        }
+    return {
+        "schema": SCHEMA,
+        "kind": "xcheck",
+        "meta": {"workloads": sorted(workloads)},
+        "workloads": workloads,
+    }
+
+
+def _require(doc: Mapping[str, object], key: str, kind: type) -> object:
+    if key not in doc:
+        raise ObservabilityError(f"report is missing required key {key!r}")
+    value = doc[key]
+    if not isinstance(value, kind):
+        raise ObservabilityError(
+            f"report key {key!r} must be {kind.__name__}, "
+            f"got {type(value).__name__}"
+        )
+    return value
+
+
+def validate_report(doc: Mapping[str, object]) -> None:
+    """Structural validation of a report document (CI gates on this).
+
+    Checks the schema tag, the section layout of each report kind, the
+    alert records, and that every attribution phase carries a category
+    from the fixed taxonomy.  Raises :class:`ObservabilityError` on the
+    first violation.
+    """
+    schema = _require(doc, "schema", str)
+    if schema != SCHEMA:
+        raise ObservabilityError(
+            f"unsupported report schema {schema!r} (expected {SCHEMA!r})"
+        )
+    kind = _require(doc, "kind", str)
+    if kind not in REPORT_KINDS:
+        raise ObservabilityError(
+            f"unknown report kind {kind!r}; choose from {REPORT_KINDS}"
+        )
+    _require(doc, "meta", dict)
+    if kind == "serving":
+        serving = _require(doc, "serving", dict)
+        tenants = _require(serving, "tenants", dict)
+        for name, tenant in tenants.items():
+            if not isinstance(tenant, dict):
+                raise ObservabilityError(f"tenant {name!r} must be a dict")
+            attribution = _require(tenant, "attribution", dict)
+            phases = _require(attribution, "phases", dict)
+            categories = _require(attribution, "categories", dict)
+            if set(phases) != set(categories):
+                raise ObservabilityError(
+                    f"tenant {name!r}: attribution phases and categories "
+                    "disagree"
+                )
+            for phase, category in categories.items():
+                if category not in PHASE_CATEGORIES:
+                    raise ObservabilityError(
+                        f"tenant {name!r} phase {phase!r} has unknown "
+                        f"category {category!r}"
+                    )
+        _require(doc, "series", dict)
+        alerts = _require(doc, "alerts", list)
+        for alert in alerts:
+            if not isinstance(alert, dict):
+                raise ObservabilityError("alert records must be dicts")
+            for key in ("kind", "tenant", "time_ms", "value", "threshold"):
+                if key not in alert:
+                    raise ObservabilityError(
+                        f"alert record is missing key {key!r}"
+                    )
+    else:
+        workloads = _require(doc, "workloads", dict)
+        for name, workload in workloads.items():
+            if not isinstance(workload, dict):
+                raise ObservabilityError(f"workload {name!r} must be a dict")
+            _require(workload, "xcheck", dict)
+            tiers = _require(workload, "tiers", dict)
+            for backend, tier in tiers.items():
+                if not isinstance(tier, dict):
+                    raise ObservabilityError(
+                        f"tier {backend!r} must be a dict"
+                    )
+                for key in ("total_cycles", "latency_ms", "phases"):
+                    if key not in tier:
+                        raise ObservabilityError(
+                            f"tier {backend!r} is missing key {key!r}"
+                        )
+
+
+__all__ = [
+    "REPORT_KINDS",
+    "SCHEMA",
+    "build_serving_report",
+    "build_xcheck_report",
+    "validate_report",
+]

@@ -26,17 +26,22 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass, field
-from typing import Dict, List, Mapping, Optional, Sequence
+from typing import Dict, List, Mapping, Optional, Sequence, TYPE_CHECKING
 
 from repro.analysis.diagnostics import LintReport
 from repro.analysis.plan import ResidentPlan
 from repro.analysis.system import analyze_plan
 from repro.core.multi_dnn import MultiDNNScheduler
+from repro.core.simulator import NetworkRunResult
 from repro.errors import SimulationError
 from repro.mapping.allocation import proportional_shares
+from repro.obs.timeline import PhaseSpec, report_phases
 from repro.serving.service import ServiceModel
 from repro.serving.tenancy import TenantSpec
 from repro.sim.config import SimConfig
+
+if TYPE_CHECKING:
+    from repro.obs.monitor import AlertEvent
 
 #: Server id of the single time-shared array.
 SHARED_SERVER = "chip"
@@ -100,6 +105,29 @@ class ServingPolicy:
         """Current cores per tenant (empty when the array is not split)."""
         return dict(self._shares)
 
+    def service_phases(self, tenant: str, count: int = 1) -> List[PhaseSpec]:
+        """Relative phase weights of one service window (attribution).
+
+        The serving simulator scales these weights onto the billed
+        service milliseconds of each dispatch (see
+        :mod:`repro.obs.timeline`), so only the *ratios* matter.  The
+        base policy has no chip model behind it and bills the whole
+        window as compute; chip-backed policies return the per-segment
+        DRAM / staging / compute split of their tier's
+        :class:`~repro.sim.report.RunReport`.
+        """
+        return [PhaseSpec("service/compute", "compute", 1.0)]
+
+    def on_alerts(
+        self, now_ms: float, alerts: Sequence["AlertEvent"]
+    ) -> None:
+        """Advisory SLO alerts from the run's monitor (may be ignored).
+
+        Called by the simulator just before :meth:`on_interval` with the
+        alerts the :class:`~repro.obs.monitor.SLOMonitor` raised since
+        the previous control tick.  The base policy ignores them.
+        """
+
     def on_interval(
         self, now_ms: float, observations: Mapping[str, TenantObservation]
     ) -> Optional[ResizeAction]:
@@ -131,10 +159,15 @@ class StaticPartitionPolicy(ServingPolicy):
         self.scheduler = scheduler or MultiDNNScheduler()
         self._networks: Dict[str, object] = {}
         self._residents: List[ResidentPlan] = []
+        self._reports: Dict[str, NetworkRunResult] = {}
 
     def prepare(self, tenants: Sequence[TenantSpec]) -> None:
         run = self.scheduler.run([t.network for t in tenants])
         self._networks = {t.name: t.network for t in tenants}
+        self._reports = {
+            t.name: model_run.result
+            for t, model_run in zip(tenants, run.runs)
+        }
         self._residents = [
             ResidentPlan(
                 name=tenant.name,
@@ -168,6 +201,17 @@ class StaticPartitionPolicy(ServingPolicy):
             self._networks[tenant], self._shares[tenant], batch_requests=count
         ).latency_ms
 
+    def service_phases(self, tenant: str, count: int = 1) -> List[PhaseSpec]:
+        if count == 1:
+            return report_phases(self._reports[tenant])
+        return report_phases(
+            self.scheduler.simulate_partition(
+                self._networks[tenant],
+                self._shares[tenant],
+                batch_requests=count,
+            )
+        )
+
 
 class TimeSharedPolicy(ServingPolicy):
     """One queue, the whole array, weights reloaded between models."""
@@ -177,13 +221,19 @@ class TimeSharedPolicy(ServingPolicy):
     def __init__(self, scheduler: Optional[MultiDNNScheduler] = None) -> None:
         super().__init__()
         self.scheduler = scheduler or MultiDNNScheduler()
+        self._reports: Dict[str, NetworkRunResult] = {}
 
     def prepare(self, tenants: Sequence[TenantSpec]) -> None:
         for tenant in tenants:
             self._servers[tenant.name] = SHARED_SERVER
-            self._service_ms[tenant.name] = self.scheduler.simulator.run(
-                tenant.network, "heuristic"
-            ).latency_ms
+            run = self.scheduler.simulator.run(tenant.network, "heuristic")
+            self._reports[tenant.name] = run
+            self._service_ms[tenant.name] = run.latency_ms
+
+    def service_phases(self, tenant: str, count: int = 1) -> List[PhaseSpec]:
+        # A batched dispatch on the shared array is ``count`` full runs
+        # (weights reload every time), so the phase ratios match count=1.
+        return report_phases(self._reports[tenant])
 
 
 class ElasticPolicy(ServingPolicy):
@@ -204,6 +254,12 @@ class ElasticPolicy(ServingPolicy):
     model's authoritative tier regardless.  ``None`` (the default) keeps
     the demand-share gate alone — byte-identical to the historical
     behaviour.
+
+    ``react_to_alerts`` makes the run's SLO monitor an *advisory*
+    signal: a ``burn_rate`` or ``queue_growth`` alert for a tenant lets
+    the next control tick bypass the resize cooldown (hysteresis and
+    the decision gate still apply).  ``False`` (the default) ignores
+    alerts entirely — byte-identical to the unmonitored behaviour.
     """
 
     name = "elastic"
@@ -216,6 +272,7 @@ class ElasticPolicy(ServingPolicy):
         hysteresis_cores: int = 8,
         cooldown_ms: float = 0.0,
         decision_backend: Optional[str] = None,
+        react_to_alerts: bool = False,
     ) -> None:
         super().__init__()
         if control_interval_ms <= 0:
@@ -231,10 +288,12 @@ class ElasticPolicy(ServingPolicy):
         self.hysteresis_cores = hysteresis_cores
         self.cooldown_ms = cooldown_ms
         self.decision_backend = decision_backend
+        self.react_to_alerts = react_to_alerts
         self.resize_count = 0
         self._tenants: List[TenantSpec] = []
         self._minimums: Dict[str, int] = {}
         self._last_resize_ms = -math.inf
+        self._alerted: set = set()
 
     def prepare(self, tenants: Sequence[TenantSpec]) -> None:
         if not tenants:
@@ -264,6 +323,27 @@ class ElasticPolicy(ServingPolicy):
         return self.service.batched_latency_ms(
             network, self._shares[tenant], count
         )
+
+    def service_phases(self, tenant: str, count: int = 1) -> List[PhaseSpec]:
+        network = next(
+            t.network for t in self._tenants if t.name == tenant
+        )
+        # Hits the service model's memo: prepare()/batched_service_ms
+        # already simulated this (network, share, batch) point.
+        return report_phases(
+            self.service.partition_run(
+                network, self._shares[tenant], batch_requests=count
+            )
+        )
+
+    def on_alerts(
+        self, now_ms: float, alerts: Sequence["AlertEvent"]
+    ) -> None:
+        if not self.react_to_alerts:
+            return
+        for alert in alerts:
+            if alert.kind in ("burn_rate", "queue_growth"):
+                self._alerted.add(alert.tenant)
 
     def region_starts(self) -> Dict[str, int]:
         """Each tenant's offset into the global snake walk (tenant order)."""
@@ -302,7 +382,11 @@ class ElasticPolicy(ServingPolicy):
     def on_interval(
         self, now_ms: float, observations: Mapping[str, TenantObservation]
     ) -> Optional[ResizeAction]:
-        if now_ms - self._last_resize_ms < self.cooldown_ms:
+        # An SLO alert since the last tick (advisory, opt-in) waives the
+        # cooldown: a burning tenant should not wait out the timer.
+        alerted = bool(self._alerted)
+        self._alerted.clear()
+        if not alerted and now_ms - self._last_resize_ms < self.cooldown_ms:
             return None
         weights = []
         for tenant in self._tenants:
@@ -425,3 +509,16 @@ class FixedServicePolicy(ServingPolicy):
             return self._fixed[tenant]
         stage = self._staging.get(tenant, 0.0)
         return stage + count * (self._fixed[tenant] - stage)
+
+    def service_phases(self, tenant: str, count: int = 1) -> List[PhaseSpec]:
+        # Mirrors batched_service_ms: staging is paid once per dispatch,
+        # the post-staging remainder ``count`` times.
+        stage = self._staging.get(tenant, 0.0)
+        return [
+            PhaseSpec("service/staging", "staging", stage),
+            PhaseSpec(
+                "service/compute",
+                "compute",
+                count * (self._fixed[tenant] - stage),
+            ),
+        ]

@@ -10,6 +10,9 @@ job does the same for lint JSON — keep every seed and rate stable.
 * ``mixed-rate`` — three sensor-fusion tenants (camera / lidar / radar)
   with Poisson arrivals whose rates are mismatched with their models'
   MAC weights: the regime where elastic partitions beat a static split.
+* ``mixed-rate-overloaded`` — the same trio pushed past saturation with
+  tightened deadlines; the variant the SLO monitor's burn-rate alerts
+  are pinned against (``obs-smoke``).
 * ``smoke`` — two tiny tenants far below saturation; finishes in well
   under a second and must shed nothing.
 * ``bursty`` — a steady tenant beside one whose trace fires a dense
@@ -46,6 +49,20 @@ def mixed_rate_tenants() -> List[TenantSpec]:
     ]
 
 
+def mixed_rate_overloaded_tenants() -> List[TenantSpec]:
+    """The mixed-rate trio pushed past saturation (tight deadlines, hot
+    arrival rates): the SLO monitor must raise burn-rate alerts here —
+    the observability acceptance scenario."""
+    return [
+        TenantSpec("camera", conv_net("camera", m=64, h=28),
+                   PoissonArrivals(900, seed=1), deadline_ms=3.0),
+        TenantSpec("lidar", conv_net("lidar", m=32, h=14),
+                   PoissonArrivals(3000, seed=2), deadline_ms=1.5),
+        TenantSpec("radar", small_cnn_spec(),
+                   PoissonArrivals(5000, seed=3), deadline_ms=1.0),
+    ]
+
+
 def smoke_tenants() -> List[TenantSpec]:
     """Two tiny tenants far below saturation: zero shed expected."""
     return [
@@ -73,6 +90,7 @@ def bursty_tenants() -> List[TenantSpec]:
 #: Scenario name -> (tenant factory, default run window in ms).
 SCENARIOS: Dict[str, Tuple[Callable[[], List[TenantSpec]], float]] = {
     "mixed-rate": (mixed_rate_tenants, 120.0),
+    "mixed-rate-overloaded": (mixed_rate_overloaded_tenants, 120.0),
     "smoke": (smoke_tenants, 80.0),
     "bursty": (bursty_tenants, 100.0),
 }

@@ -36,6 +36,8 @@ from typing import Dict, List, Optional, Sequence
 
 from repro.analysis.determinism import accesses_from_queue, check_batches
 from repro.errors import PlanVerificationError, SimulationError
+from repro.obs.monitor import DEFAULT_WINDOW_MS, AlertEvent, SLOMonitor
+from repro.obs.timeline import AttributionTable
 from repro.serving.policies import ResizeAction, ServingPolicy, TenantObservation
 from repro.serving.queues import DISCIPLINES, AdmissionQueue
 from repro.serving.slo import ResizeEvent, ServingRunResult, TenantReport
@@ -67,6 +69,9 @@ class ServingSimulator:
         batch_requests: int = 1,
         preflight: bool = True,
         telemetry: Optional[TelemetrySink] = None,
+        attribution: bool = True,
+        collect_timelines: bool = False,
+        monitor: Optional[SLOMonitor] = None,
     ) -> None:
         if discipline not in DISCIPLINES:
             raise SimulationError(
@@ -91,6 +96,18 @@ class ServingSimulator:
         #: (:meth:`ServingPolicy.batched_service_ms`), amortizing weight
         #: staging.  ``1`` is the historical one-request-at-a-time loop.
         self.batch_requests = batch_requests
+        #: Per-request latency attribution (``repro.obs.timeline``):
+        #: every billed completion is decomposed into queue / staging /
+        #: compute / ... phases that sum bit-exactly to its latency.
+        #: The default path only counts template uses (two dict ops per
+        #: dispatch); full per-request ``RequestTimeline`` objects are
+        #: built when a telemetry sink is active or
+        #: ``collect_timelines=True``.
+        self.attribution = attribution
+        self.collect_timelines = collect_timelines
+        #: Optional SLO monitor; its alerts land in the run result, the
+        #: trace (instants), and ``policy.on_alerts``.
+        self.monitor = monitor
         self._telemetry = telemetry if telemetry is not None else _current_telemetry()
 
     # -- the run ---------------------------------------------------------------
@@ -138,11 +155,51 @@ class ServingSimulator:
         arrival_index = {t.name: 0 for t in tenants}
         admission_seq = itertools.count()
         sink = self._telemetry
+        table = AttributionTable() if self.attribution else None
+        collect = table is not None and (self.collect_timelines or sink.enabled)
+        #: Dispatch-side attribution cache: tenant -> list indexed by
+        #: batch size of ``[(key, template), billed_dispatches]`` slots
+        #: for the tenant's current generation.  Slots fold into
+        #: ``table`` via :func:`flush_attribution` when a resize closes
+        #: the generation and once after the run.
+        attr_cache: Dict[str, list] = {}
+
+        def flush_attribution(tenant: str) -> None:
+            per = attr_cache.pop(tenant, None)
+            if per is None:
+                return
+            assert table is not None
+            for n, slot in enumerate(per):
+                if slot is not None and slot[1]:
+                    # Each billed dispatch of size n completed n requests.
+                    table.record(slot[0][0], slot[1] * n)
+        monitor = self.monitor
+        window = monitor.config.window_ms if monitor else DEFAULT_WINDOW_MS
+        alerts: List[AlertEvent] = []
+        pending_alerts: List[AlertEvent] = []
 
         def count(path: str) -> None:
             if sink.enabled:
                 assert sink.registry is not None
                 sink.registry.counter(path).inc()
+
+        def poll_monitor(now: float) -> None:
+            if monitor is None:
+                return
+            fresh = monitor.poll(now)
+            if not fresh:
+                return
+            alerts.extend(fresh)
+            pending_alerts.extend(fresh)
+            if sink.enabled:
+                assert sink.trace is not None
+                for alert in fresh:
+                    sink.trace.instant(
+                        "serving/slo",
+                        f"{alert.kind}/{alert.tenant}",
+                        alert.time_ms,
+                        args=alert.as_dict(),
+                    )
 
         # -- service ----------------------------------------------------------
 
@@ -206,6 +263,42 @@ class ServingSimulator:
                     request.tenant, len(batch)
                 )
             finish = now + service
+            if table is not None:
+                # Snapshot the dispatch-time template key: a resize
+                # between now and completion must not re-attribute the
+                # in-flight batch.  The steady state is allocation-free
+                # (dict subscript + two list indexes + integer bump);
+                # the table is only touched on a template miss and when
+                # a generation flushes.
+                n = len(batch)
+                try:
+                    per = attr_cache[request.tenant]
+                except KeyError:
+                    per = attr_cache[request.tenant] = [None] * (
+                        self.batch_requests + 1
+                    )
+                slot = per[n]
+                if slot is None:
+                    slot = per[n] = [
+                        table.lookup(
+                            request.tenant,
+                            n,
+                            lambda: self.policy.service_phases(
+                                request.tenant, n
+                            ),
+                            service,
+                        ),
+                        0,
+                    ]
+                attr = slot[0]
+                if finish <= duration_ms:
+                    # Billing happens here rather than at completion:
+                    # the queue drains every event, so a dispatch whose
+                    # finish lands inside the run always completes, and
+                    # all n requests of the batch finish together.
+                    slot[1] += 1
+            else:
+                attr = None
             state.busy = True
             state.free_at_ms = finish
             if sink.enabled:
@@ -222,14 +315,18 @@ class ServingSimulator:
                 )
             queue.schedule(
                 finish,
-                lambda: complete(server, batch, service, finish),
+                lambda: complete(server, batch, service, finish, attr),
                 tag="serving/completion",
                 actor=f"server/{server}",
                 writes=(f"server/{server}",),
             )
 
         def complete(
-            server: str, batch: List[Request], service: float, finish: float
+            server: str,
+            batch: List[Request],
+            service: float,
+            finish: float,
+            attr: Optional[tuple],
         ) -> None:
             state = servers[server]
             state.busy = False
@@ -247,6 +344,25 @@ class ServingSimulator:
                         share,
                         met_deadline=request.met_deadline,
                     )
+                    if collect and attr is not None:
+                        assert table is not None
+                        report.timelines.append(
+                            table.timeline(
+                                request.tenant,
+                                request.index,
+                                request.arrival_ms,
+                                request.start_ms,
+                                request.latency_ms,
+                                attr[1],
+                            )
+                        )
+                    if monitor is not None:
+                        monitor.record_completion(
+                            request.tenant,
+                            finish,
+                            request.latency_ms,
+                            request.met_deadline,
+                        )
                     count(f"serving/tenant/{request.tenant}/completed")
                     if not request.met_deadline:
                         count(f"serving/tenant/{request.tenant}/deadline_misses")
@@ -256,6 +372,15 @@ class ServingSimulator:
                             f"serving/tenant/{request.tenant}/latency_ms",
                             bounds=report.histogram.bounds,
                         ).observe(request.latency_ms)
+                        sink.registry.windowed(
+                            f"serving/tenant/{request.tenant}/throughput",
+                            window,
+                        ).observe(finish, 1.0)
+                        sink.registry.windowed(
+                            f"serving/tenant/{request.tenant}/latency_windowed",
+                            window,
+                            bounds=report.histogram.bounds,
+                        ).observe(finish, request.latency_ms)
                 else:
                     report.overrun += 1
                 spec = specs[request.tenant]
@@ -263,6 +388,12 @@ class ServingSimulator:
                     schedule_arrival(
                         spec, spec.arrivals.after_completion_ms(finish)
                     )
+            if sink.enabled:
+                assert sink.registry is not None
+                sink.registry.windowed(
+                    f"serving/server/{server}/busy", window
+                ).add_range(finish - service, finish)
+            poll_monitor(finish)
             dispatch(server)
 
         # -- arrivals ---------------------------------------------------------
@@ -300,11 +431,25 @@ class ServingSimulator:
             if victim is not None:
                 reports[victim.tenant].shed += 1
                 count(f"serving/tenant/{victim.tenant}/shed")
+                if sink.enabled:
+                    assert sink.registry is not None
+                    sink.registry.windowed(
+                        f"serving/tenant/{victim.tenant}/shed_windowed",
+                        window,
+                    ).observe(t, 1.0)
             if sink.enabled:
                 assert sink.registry is not None
                 sink.registry.gauge(
                     f"serving/tenant/{tenant.name}/max_queue_depth"
                 ).max(queues[tenant.name].depth)
+                sink.registry.windowed(
+                    f"serving/tenant/{tenant.name}/queue_depth", window
+                ).set(t, float(queues[tenant.name].depth))
+            if monitor is not None:
+                monitor.record_queue_depth(
+                    tenant.name, t, queues[tenant.name].depth
+                )
+            poll_monitor(t)
             dispatch(self.policy.server_of(tenant.name))
             if not tenant.arrivals.closed_loop:
                 schedule_arrival(tenant, tenant.arrivals.next_ms(t))
@@ -312,6 +457,10 @@ class ServingSimulator:
         # -- elastic control --------------------------------------------------
 
         def control(t: float) -> None:
+            poll_monitor(t)
+            if pending_alerts:
+                self.policy.on_alerts(t, tuple(pending_alerts))
+                pending_alerts.clear()
             observations = {
                 name: TenantObservation(
                     arrivals=window_arrivals[name],
@@ -327,6 +476,15 @@ class ServingSimulator:
                 apply_resize(t, action)
 
         def apply_resize(t: float, action: ResizeAction) -> None:
+            if table is not None:
+                # The resized tenants' service times (and so their phase
+                # templates) changed; in-flight batches keep the key
+                # they dispatched with.
+                for name in action.stall_ms:
+                    flush_attribution(name)
+                    table.invalidate(name)
+            if monitor is not None:
+                monitor.record_resize(t)
             for name, stall in action.stall_ms.items():
                 server = self.policy.server_of(name)
                 state = servers[server]
@@ -386,6 +544,24 @@ class ServingSimulator:
                     det,
                 )
         queue.run()
+        # Close the monitor's final window (nothing arrives after the
+        # drain, so every open window is decidable now).
+        poll_monitor(queue.now + window)
+
+        if table is not None:
+            for name in list(attr_cache):
+                flush_attribution(name)
+            for name in names:
+                report = reports[name]
+                phase_names, phase_categories, durations = table.aggregate(
+                    name,
+                    report.queue_wait_ms_total,
+                    report.histogram.total,
+                )
+                report.attribution = dict(zip(phase_names, durations))
+                report.attribution_categories = dict(
+                    zip(phase_names, phase_categories)
+                )
 
         return ServingRunResult(
             policy=self.policy.name,
@@ -396,4 +572,5 @@ class ServingSimulator:
             servers={n: self.policy.server_of(n) for n in names},
             server_busy_ms={s: st.busy_ms for s, st in sorted(servers.items())},
             final_shares=self.policy.shares(),
+            alerts=alerts,
         )

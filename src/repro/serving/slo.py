@@ -19,6 +19,8 @@ import json
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Tuple
 
+from repro.obs.monitor import AlertEvent
+from repro.obs.timeline import RequestTimeline
 from repro.telemetry import Histogram
 
 #: Histogram bucket upper bounds for request latencies, in milliseconds:
@@ -45,6 +47,14 @@ class TenantReport:
     histogram: Histogram = field(
         default_factory=lambda: Histogram(bounds=SLO_LATENCY_BUCKETS_MS)
     )
+    #: Whole-run latency attribution (phase name -> total ms), ordered by
+    #: phase position; the values left-to-right sum bit-exactly to the
+    #: histogram's running latency total (see ``repro.obs.timeline``).
+    attribution: Dict[str, float] = field(default_factory=dict)
+    attribution_categories: Dict[str, str] = field(default_factory=dict)
+    #: Per-request timelines — populated only on the collected path
+    #: (telemetry enabled or ``collect_timelines=True``).
+    timelines: List[RequestTimeline] = field(default_factory=list)
 
     def record_completion(
         self, latency_ms: float, queue_wait_ms: float, service_ms: float,
@@ -119,6 +129,10 @@ class TenantReport:
             },
             "queue_wait_ms_total": self.queue_wait_ms_total,
             "service_ms_total": self.service_ms_total,
+            "attribution": {
+                "phases": dict(self.attribution),
+                "categories": dict(self.attribution_categories),
+            },
         }
 
 
@@ -154,6 +168,9 @@ class ServingRunResult:
     servers: Dict[str, str] = field(default_factory=dict)
     server_busy_ms: Dict[str, float] = field(default_factory=dict)
     final_shares: Dict[str, int] = field(default_factory=dict)
+    #: Structured SLO alerts raised by the run's monitor (empty when the
+    #: run had none attached).
+    alerts: List[AlertEvent] = field(default_factory=list)
 
     @property
     def total_arrivals(self) -> int:
@@ -197,6 +214,7 @@ class ServingRunResult:
                 for name, report in sorted(self.reports.items())
             },
             "resizes": [event.as_dict() for event in self.resizes],
+            "alerts": [alert.as_dict() for alert in self.alerts],
             "servers": dict(sorted(self.servers.items())),
             "server_busy_ms": dict(sorted(self.server_busy_ms.items())),
             "final_shares": dict(sorted(self.final_shares.items())),

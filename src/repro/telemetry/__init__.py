@@ -42,6 +42,7 @@ from repro.telemetry.registry import (
     Timer,
 )
 from repro.telemetry.trace import TraceRecorder, validate_chrome_trace
+from repro.telemetry.windows import WindowCell, WindowedSeries
 
 
 class TelemetrySink:
@@ -111,6 +112,8 @@ __all__ = [
     "TelemetrySink",
     "Timer",
     "TraceRecorder",
+    "WindowCell",
+    "WindowedSeries",
     "current",
     "install",
     "use",

@@ -26,6 +26,7 @@ from dataclasses import dataclass, field
 from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Tuple, Union
 
 from repro.errors import TelemetryError
+from repro.telemetry.windows import WindowedSeries
 
 Number = Union[int, float]
 
@@ -133,7 +134,13 @@ class Histogram:
                 if hi <= lo:
                     return float(lo)
                 fraction = (rank - below) / n
-                return float(lo + (hi - lo) * fraction)
+                # The ends of the span are exact — `lo + (hi - lo) *
+                # fraction` can round an ulp off at fraction 1.0, and
+                # p100 must be exactly the observed max.  The min()
+                # keeps interior rounding inside the span too.
+                if fraction >= 1.0:
+                    return float(hi)
+                return float(min(lo + (hi - lo) * fraction, hi))
         return float(self.max)
 
 
@@ -167,6 +174,7 @@ class MetricsRegistry:
         self.gauges: Dict[str, Gauge] = {}
         self.histograms: Dict[str, Histogram] = {}
         self.timers: Dict[str, Timer] = {}
+        self.series: Dict[str, WindowedSeries] = {}
 
     # -- access (create on first use) -----------------------------------------
 
@@ -200,6 +208,34 @@ class MetricsRegistry:
         metric = self.timers.get(path)
         if metric is None:
             metric = self.timers[path] = Timer()
+        return metric
+
+    def windowed(
+        self,
+        path: str,
+        window: float,
+        bounds: Optional[Sequence[float]] = None,
+    ) -> WindowedSeries:
+        """A :class:`WindowedSeries` at ``path`` (create on first use).
+
+        ``window``/``bounds`` must agree with the existing series on a
+        repeat lookup — a silent shape change would corrupt the cells.
+        """
+        path = _check_path(path)
+        metric = self.series.get(path)
+        if metric is None:
+            metric = self.series[path] = WindowedSeries(
+                window=window,
+                bounds=tuple(bounds) if bounds is not None else None,
+            )
+            return metric
+        if metric.window != window or metric.bounds != (
+            tuple(bounds) if bounds is not None else None
+        ):
+            raise TelemetryError(
+                f"windowed series {path!r} already exists with a different "
+                f"window or bounds"
+            )
         return metric
 
     # -- export ---------------------------------------------------------------
@@ -244,6 +280,9 @@ class MetricsRegistry:
             "timers": {
                 p: {"count": t.count, "total": t.total, "min": t.min, "max": t.max}
                 for p, t in sorted(self.timers.items())
+            },
+            "series": {
+                p: s.as_dict() for p, s in sorted(self.series.items())
             },
         }
 
@@ -302,6 +341,13 @@ class MetricsRegistry:
                 mine_v = getattr(mine_h, attr)
                 pick = min if attr == "min" else max
                 setattr(mine_h, attr, theirs if mine_v is None else pick(mine_v, theirs))
+        for path, s in other.series.items():
+            mine_s = self.series.get(path)
+            if mine_s is None:
+                mine_s = self.series[path] = WindowedSeries(
+                    window=s.window, bounds=s.bounds
+                )
+            mine_s.merge(s)
         for path, t in other.timers.items():
             mine_t = self.timer(path)
             mine_t.count += t.count

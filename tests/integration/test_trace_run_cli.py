@@ -1,0 +1,56 @@
+"""scripts/trace_run.py CLI matrix: every registered sim backend is a
+legal ``--backend``, unknown names are rejected at argparse time, and
+the emitted artifacts validate."""
+
+import json
+import os
+import subprocess
+import sys
+
+import pytest
+
+ROOT = os.path.join(os.path.dirname(__file__), "..", "..")
+SCRIPT = os.path.join(ROOT, "scripts", "trace_run.py")
+
+sys.path.insert(0, os.path.join(ROOT, "src"))
+from repro.sim import available_backends  # noqa: E402
+
+sys.path.pop(0)
+
+
+def run_cli(tmp_path, *argv):
+    env = dict(os.environ, PYTHONPATH=os.path.join(ROOT, "src"))
+    return subprocess.run(
+        [sys.executable, SCRIPT, "--workload", "tiny",
+         "--metrics-out", str(tmp_path / "metrics.json"),
+         "--trace-out", str(tmp_path / "trace.json"), *argv],
+        capture_output=True, text=True, env=env, cwd=ROOT,
+    )
+
+
+@pytest.mark.parametrize("backend", sorted(available_backends()))
+def test_every_registered_backend_is_accepted(tmp_path, backend):
+    proc = run_cli(tmp_path, "--backend", backend, "--validate")
+    assert proc.returncode == 0, proc.stderr
+    metrics = json.loads((tmp_path / "metrics.json").read_text())
+    assert metrics["summary"]["sim"]["backend"] == backend
+    assert metrics["summary"]["sim"]["total_cycles"] > 0
+    assert "trace OK" in proc.stdout
+
+
+def test_unknown_backend_is_rejected_by_argparse(tmp_path):
+    proc = run_cli(tmp_path, "--backend", "abacus")
+    assert proc.returncode == 2
+    assert "invalid choice" in proc.stderr
+    assert not (tmp_path / "metrics.json").exists()
+
+
+def test_help_lists_the_backend_choices(tmp_path):
+    env = dict(os.environ, PYTHONPATH=os.path.join(ROOT, "src"))
+    proc = subprocess.run(
+        [sys.executable, SCRIPT, "--help"],
+        capture_output=True, text=True, env=env, cwd=ROOT,
+    )
+    assert proc.returncode == 0
+    for backend in sorted(available_backends()):
+        assert backend in proc.stdout

@@ -1,0 +1,133 @@
+"""SLO monitor: burn-rate, queue-growth, and resize-thrash detection."""
+
+import pytest
+
+from repro.errors import ObservabilityError
+from repro.obs.monitor import CLUSTER, AlertEvent, SLOConfig, SLOMonitor
+
+
+def feed_window(monitor, tenant, index, misses, total, window=10.0):
+    """Drop ``total`` completions (``misses`` late) into one window."""
+    base = index * window
+    for i in range(total):
+        t = base + (i + 0.5) * window / (total + 1)
+        monitor.record_completion(tenant, t, 1.0, met_deadline=i >= misses)
+
+
+class TestAlertEvent:
+    def test_rejects_unknown_kind(self):
+        with pytest.raises(ObservabilityError):
+            AlertEvent("meltdown", "a", 0.0, 10.0, 1.0, 1.0, "")
+
+    def test_as_dict_round_trips_the_fields(self):
+        alert = AlertEvent("burn_rate", "a", 10.0, 10.0, 4.0, 2.0, "m")
+        d = alert.as_dict()
+        assert d["kind"] == "burn_rate" and d["value"] == 4.0
+
+
+class TestSLOConfig:
+    @pytest.mark.parametrize("kwargs", [
+        {"window_ms": 0.0},
+        {"error_budget": 0.0},
+        {"error_budget": 1.5},
+        {"burn_threshold": 0.0},
+        {"queue_growth_windows": 1},
+        {"thrash_count": 1},
+        {"thrash_window_ms": 0.0},
+    ])
+    def test_rejects_bad_thresholds(self, kwargs):
+        with pytest.raises(ObservabilityError):
+            SLOConfig(**kwargs)
+
+
+class TestBurnRate:
+    def test_hot_window_alerts(self):
+        monitor = SLOMonitor(SLOConfig(error_budget=0.1, burn_threshold=2.0))
+        feed_window(monitor, "a", 0, misses=5, total=10)
+        alerts = monitor.poll(10.0)
+        assert [a.kind for a in alerts] == ["burn_rate"]
+        assert alerts[0].tenant == "a"
+        assert alerts[0].value == pytest.approx(5.0)  # 50% miss / 10% budget
+        assert alerts[0].time_ms == 10.0
+
+    def test_within_budget_stays_quiet(self):
+        monitor = SLOMonitor(SLOConfig(error_budget=0.1, burn_threshold=2.0))
+        feed_window(monitor, "a", 0, misses=1, total=10)  # burn 1.0 < 2.0
+        assert monitor.poll(10.0) == []
+
+    def test_open_window_is_not_evaluated_early(self):
+        monitor = SLOMonitor(SLOConfig(error_budget=0.1))
+        feed_window(monitor, "a", 0, misses=10, total=10)
+        assert monitor.poll(9.9) == []       # window [0, 10) still open
+        assert len(monitor.poll(10.0)) == 1  # closes exactly at its end
+
+    def test_each_window_evaluated_once(self):
+        monitor = SLOMonitor(SLOConfig(error_budget=0.1))
+        feed_window(monitor, "a", 0, misses=10, total=10)
+        assert len(monitor.poll(10.0)) == 1
+        assert monitor.poll(20.0) == []
+        assert len(monitor.alerts) == 1
+
+
+class TestQueueGrowth:
+    def test_streak_of_growing_depth_alerts_once(self):
+        monitor = SLOMonitor(SLOConfig(queue_growth_windows=3))
+        for index, depth in enumerate([1, 2, 3, 4, 5]):
+            monitor.record_queue_depth("a", index * 10.0 + 5.0, depth)
+        alerts = monitor.poll(50.0)
+        growth = [a for a in alerts if a.kind == "queue_growth"]
+        assert len(growth) == 1
+        assert growth[0].time_ms == 30.0  # third growing window closes
+
+    def test_flat_depth_never_alerts(self):
+        monitor = SLOMonitor(SLOConfig(queue_growth_windows=3))
+        for index in range(5):
+            monitor.record_queue_depth("a", index * 10.0 + 5.0, 4)
+        assert monitor.poll(50.0) == []
+
+    def test_a_drop_resets_the_streak(self):
+        monitor = SLOMonitor(SLOConfig(queue_growth_windows=3))
+        for index, depth in enumerate([1, 2, 0, 1, 2]):
+            monitor.record_queue_depth("a", index * 10.0 + 5.0, depth)
+        assert monitor.poll(50.0) == []
+
+
+class TestResizeThrash:
+    def test_burst_of_resizes_alerts_once(self):
+        monitor = SLOMonitor(SLOConfig(thrash_count=3, thrash_window_ms=50.0))
+        for t in (10.0, 20.0, 30.0, 40.0):
+            monitor.record_resize(t)
+        alerts = monitor.poll(100.0)
+        thrash = [a for a in alerts if a.kind == "resize_thrash"]
+        assert len(thrash) == 1
+        assert thrash[0].tenant == CLUSTER
+        assert thrash[0].time_ms == 30.0
+
+    def test_spread_out_resizes_stay_quiet(self):
+        monitor = SLOMonitor(SLOConfig(thrash_count=3, thrash_window_ms=50.0))
+        for t in (10.0, 100.0, 200.0, 300.0):
+            monitor.record_resize(t)
+        assert monitor.poll(400.0) == []
+
+
+class TestDeterminism:
+    def build(self):
+        monitor = SLOMonitor(SLOConfig(error_budget=0.05, burn_threshold=2.0))
+        for tenant in ("b", "a", "c"):
+            feed_window(monitor, tenant, 0, misses=8, total=10)
+            monitor.record_queue_depth(tenant, 5.0, 3)
+        return monitor
+
+    def test_alerts_sorted_and_reproducible(self):
+        first = self.build().poll(30.0)
+        second = self.build().poll(30.0)
+        assert [a.as_dict() for a in first] == [a.as_dict() for a in second]
+        keys = [(a.time_ms, a.kind, a.tenant) for a in first]
+        assert keys == sorted(keys)
+        assert [a.tenant for a in first] == ["a", "b", "c"]
+
+    def test_incremental_polls_equal_one_big_poll(self):
+        whole = self.build().poll(30.0)
+        split_monitor = self.build()
+        split = split_monitor.poll(10.0) + split_monitor.poll(30.0)
+        assert [a.as_dict() for a in split] == [a.as_dict() for a in whole]

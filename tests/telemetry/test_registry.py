@@ -209,5 +209,7 @@ class TestExport:
         j1, j2 = build().to_json(), build().to_json()
         assert j1 == j2
         loaded = json.loads(j1)
-        assert set(loaded) == {"counters", "gauges", "histograms", "timers"}
+        assert set(loaded) == {
+            "counters", "gauges", "histograms", "timers", "series",
+        }
         assert loaded["counters"] == {"a": 1, "b": 2}

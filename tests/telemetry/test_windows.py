@@ -1,0 +1,186 @@
+"""WindowedSeries: recording shapes, per-window reads, and the
+split/merge equivalence the process-parallel runner relies on."""
+
+import pytest
+
+from repro.errors import TelemetryError
+from repro.telemetry.registry import MetricsRegistry
+from repro.telemetry.windows import WindowedSeries
+
+hypothesis = pytest.importorskip("hypothesis")
+from hypothesis import given, settings, strategies as st  # noqa: E402
+
+
+class TestRecording:
+    def test_observe_accumulates_moments_per_window(self):
+        s = WindowedSeries(window=10.0)
+        s.observe(1.0, 5.0)
+        s.observe(2.0, 1.0)
+        s.observe(15.0, 7.0)
+        assert s.indices() == [0, 1]
+        cell = s.cells[0]
+        assert (cell.count, cell.total, cell.min, cell.max) == (2, 6.0, 1.0, 5.0)
+        assert s.rate(0) == pytest.approx(0.2)
+        assert s.rate(7) == 0.0
+
+    def test_set_keeps_the_last_sample_by_time(self):
+        s = WindowedSeries(window=10.0)
+        s.set(5.0, 3)
+        s.set(2.0, 9)  # earlier sample arriving later must not win
+        assert s.cells[0].last == 3
+        assert s.cells[0].last_t == 5.0
+
+    def test_add_range_splits_across_windows(self):
+        s = WindowedSeries(window=10.0)
+        s.add_range(5.0, 25.0)
+        assert s.cells[0].busy == 5.0
+        assert s.cells[1].busy == 10.0
+        assert s.cells[2].busy == 5.0
+        assert s.utilization(1) == 1.0
+
+    def test_add_range_boundary_end_stays_left(self):
+        s = WindowedSeries(window=10.0)
+        s.add_range(5.0, 10.0)
+        assert s.indices() == [0]
+
+    def test_percentile_needs_bounds(self):
+        with pytest.raises(TelemetryError):
+            WindowedSeries(window=10.0).percentile(0, 99.0)
+
+    def test_percentile_per_window(self):
+        s = WindowedSeries(window=10.0, bounds=(1.0, 2.0, 4.0, 8.0))
+        for v in (1.5, 1.5, 3.0, 7.0):
+            s.observe(1.0, v)
+        assert s.percentile(0, 0.0) == 1.5
+        assert s.percentile(0, 100.0) == 7.0
+        assert s.percentile(1, 50.0) == 0.0  # empty window
+
+    def test_rejects_bad_shapes(self):
+        with pytest.raises(TelemetryError):
+            WindowedSeries(window=0.0)
+        with pytest.raises(TelemetryError):
+            WindowedSeries(window=1.0, bounds=(2.0, 1.0))
+        with pytest.raises(TelemetryError):
+            WindowedSeries(window=1.0).observe(-0.5)
+        with pytest.raises(TelemetryError):
+            WindowedSeries(window=1.0).add_range(3.0, 2.0)
+
+
+EVENTS = st.lists(
+    st.one_of(
+        st.tuples(
+            st.just("observe"),
+            st.floats(min_value=0.0, max_value=99.0, allow_nan=False),
+            st.floats(min_value=0.0, max_value=50.0, allow_nan=False),
+        ),
+        st.tuples(
+            st.just("set"),
+            st.floats(min_value=0.0, max_value=99.0, allow_nan=False),
+            st.floats(min_value=0.0, max_value=50.0, allow_nan=False),
+        ),
+        st.tuples(
+            st.just("range"),
+            st.floats(min_value=0.0, max_value=99.0, allow_nan=False),
+            st.floats(min_value=0.0, max_value=20.0, allow_nan=False),
+        ),
+    ),
+    max_size=40,
+)
+
+
+def apply(series, event):
+    kind, t, v = event
+    if kind == "observe":
+        series.observe(t, v)
+    elif kind == "set":
+        series.set(t, v)
+    else:
+        series.add_range(t, t + v)
+
+
+def assert_equivalent(merged, whole):
+    """Cell-wise equality; the running float sums (``total``/``busy``)
+    associate differently across a merge, so they get ulp tolerance
+    while every discrete field must match bit-exactly."""
+    assert sorted(merged.cells) == sorted(whole.cells)
+    for k, theirs in whole.cells.items():
+        mine = merged.cells[k]
+        assert mine.count == theirs.count
+        assert mine.min == theirs.min and mine.max == theirs.max
+        assert mine.last == theirs.last and mine.last_t == theirs.last_t
+        assert mine.bucket_counts == theirs.bucket_counts
+        assert mine.total == pytest.approx(theirs.total, rel=1e-12, abs=1e-12)
+        assert mine.busy == pytest.approx(theirs.busy, rel=1e-12, abs=1e-12)
+
+
+class TestSplitMergeEquivalence:
+    @settings(deadline=None, max_examples=150)
+    @given(EVENTS, st.integers(min_value=0, max_value=40), st.booleans())
+    def test_split_run_merges_to_the_whole_run(self, events, cut, bounded):
+        bounds = (1.0, 4.0, 16.0) if bounded else None
+        whole = WindowedSeries(window=10.0, bounds=bounds)
+        part1 = WindowedSeries(window=10.0, bounds=bounds)
+        part2 = WindowedSeries(window=10.0, bounds=bounds)
+        cut = min(cut, len(events))
+        for event in events:
+            apply(whole, event)
+        for event in events[:cut]:
+            apply(part1, event)
+        for event in events[cut:]:
+            apply(part2, event)
+        assert_equivalent(part1.merge(part2), whole)
+
+    def test_merge_rejects_mismatched_shapes(self):
+        s = WindowedSeries(window=10.0)
+        with pytest.raises(TelemetryError):
+            s.merge(WindowedSeries(window=5.0))
+        with pytest.raises(TelemetryError):
+            s.merge(WindowedSeries(window=10.0, bounds=(1.0,)))
+
+
+class TestRegistryMerge:
+    def build(self, offset):
+        """A registry with windowed series interleaved among other metrics."""
+        r = MetricsRegistry()
+        r.counter("runs").add(1)
+        r.gauge("depth").max(offset)
+        r.windowed("tenant/a/throughput", 10.0).observe(offset + 1.0, 1.0)
+        r.windowed("tenant/a/latency", 10.0, bounds=(1.0, 4.0)).observe(
+            offset + 2.0, 2.5
+        )
+        r.windowed("server/busy", 10.0).add_range(offset, offset + 3.0)
+        return r
+
+    def test_merge_folds_interleaved_series(self):
+        merged = self.build(0.0).merge(self.build(40.0))
+        series = merged.series["tenant/a/throughput"]
+        assert series.indices() == [0, 4]
+        assert merged.series["server/busy"].cells[4].busy == 3.0
+        assert merged.counters["runs"].value == 2
+
+    def test_split_registries_equal_whole_registry(self):
+        whole = MetricsRegistry()
+        for offset in (0.0, 40.0):
+            part = self.build(offset)
+            for path, s in part.series.items():
+                whole.windowed(path, s.window, bounds=s.bounds).merge(s)
+        merged = self.build(0.0).merge(self.build(40.0))
+        assert {p: s.as_dict() for p, s in whole.series.items()} == {
+            p: s.as_dict() for p, s in merged.series.items()
+        }
+
+    def test_merge_rejects_conflicting_series_bounds(self):
+        a = MetricsRegistry()
+        a.windowed("x", 10.0).observe(1.0)
+        b = MetricsRegistry()
+        b.windowed("x", 10.0, bounds=(1.0,)).observe(1.0)
+        with pytest.raises(TelemetryError):
+            a.merge(b)
+
+    def test_repeat_lookup_rejects_shape_change(self):
+        r = MetricsRegistry()
+        r.windowed("x", 10.0)
+        with pytest.raises(TelemetryError):
+            r.windowed("x", 5.0)
+        with pytest.raises(TelemetryError):
+            r.windowed("x", 10.0, bounds=(1.0,))
