@@ -17,7 +17,12 @@ Alongside the timing results, a telemetry snapshot of the same workloads
 written to ``BENCH_telemetry.json`` so the bench trajectory tracks *what
 the runs did*, not just how long they took.
 
-A fourth artifact, ``BENCH_backends.json``, tracks the wall-clock cost of
+``BENCH_fleet.json`` tracks the multi-chip fleet loop (``repro.fleet``)
+at 1 / 4 / 16 chips — requests per second and simulated milliseconds per
+wall-second — with per-size wall-clock budgets (``FLEET_BUDGETS``) that
+``--check`` enforces alongside the backend budgets.
+
+A further artifact, ``BENCH_backends.json``, tracks the wall-clock cost of
 every ``repro.sim`` fidelity tier together with a per-backend **perf
 budget** (see ``BACKEND_BUDGETS``).  ``--check`` re-times just the
 backends and exits non-zero if any tier exceeds its budget — the CI
@@ -484,6 +489,98 @@ def bench_obs() -> dict:
     }
 
 
+#: Per-fleet-size wall-clock budgets (seconds per run), enforced by
+#: ``--check`` and the CI ``bench-budget`` job.  Each is roughly 10x the
+#: wall time measured on the reference machine (see docs/SIMULATORS.md),
+#: so CI noise never trips them but a regression that drags the routing
+#: loop or the per-chip event engine back to per-request Python overhead
+#: blows through immediately.
+FLEET_BUDGETS: dict = {1: 0.20, 4: 0.80, 16: 3.50}
+
+
+def bench_fleet() -> dict:
+    """Throughput of the multi-chip fleet loop at N = 1 / 4 / 16 chips.
+
+    Two scripted models whose offered load scales linearly with the chip
+    count (one replica of each per chip), routed by power-of-two-choices
+    and simulated serially — what's measured is the whole fleet path:
+    traffic generation, cluster routing, per-chip event loops, and the
+    fleet rollup.  Request counts are simulation state (deterministic);
+    the wall-clock rows carry their ``budget_s`` from ``FLEET_BUDGETS``.
+    """
+    from repro.fleet import (
+        FleetModelSpec,
+        FleetSimulator,
+        OpenLoopTraffic,
+        fixed_profile,
+    )
+
+    def models(chips: int) -> list:
+        return [
+            FleetModelSpec(
+                name="vision",
+                profile=fixed_profile(
+                    "vision", 0.8, cores=64, staging_ms=0.2, restage_ms=4.0
+                ),
+                traffic=OpenLoopTraffic(rate_hz=900.0 * chips),
+                deadline_ms=10.0,
+                queue_capacity=256,
+                replicas=chips,
+            ),
+            FleetModelSpec(
+                name="speech",
+                profile=fixed_profile(
+                    "speech", 1.1, cores=96, staging_ms=0.3, restage_ms=6.0
+                ),
+                traffic=OpenLoopTraffic(rate_hz=400.0 * chips),
+                deadline_ms=15.0,
+                queue_capacity=256,
+                replicas=chips,
+            ),
+        ]
+
+    duration_ms = 1000.0
+    scales = {}
+    for chips in sorted(FLEET_BUDGETS):
+        spec = models(chips)
+
+        def run():
+            return FleetSimulator(
+                spec, chips, balancer="p2c", seed=0, scenario="bench-fleet"
+            ).run(duration_ms)
+
+        result = run()
+        t = _time_per_call(run, min_reps=2, budget_s=0.5)
+        scales[str(chips)] = {
+            "chips": chips,
+            "requests": result.total_generated,
+            "completed": result.total_completed,
+            "shed": result.total_shed,
+            "wall_s_per_run": t,
+            "requests_per_sec": result.total_generated / t,
+            "sim_ms_per_wall_s": duration_ms / t,
+            "budget_s": FLEET_BUDGETS[chips],
+            "within_budget": t <= FLEET_BUDGETS[chips],
+        }
+    return {
+        "workload": (
+            f"2-model fleet loop, {duration_ms:g} ms sim window, offered "
+            "load and replica count scaling with chips (p2c balancer, "
+            "serial chip execution)"
+        ),
+        "scales": scales,
+    }
+
+
+def check_fleet_budgets(fleet: dict) -> list:
+    """Return (chips, wall_s, budget_s) rows over budget."""
+    return [
+        (row["chips"], row["wall_s_per_run"], row["budget_s"])
+        for row in fleet["scales"].values()
+        if not row["within_budget"]
+    ]
+
+
 def bench_telemetry() -> dict:
     """Telemetry snapshot: workload cycle counts + top-level counters.
 
@@ -575,6 +672,12 @@ def main() -> None:
         ),
     )
     parser.add_argument(
+        "--fleet-out",
+        default=os.path.join(
+            os.path.dirname(__file__), "..", "BENCH_fleet.json"
+        ),
+    )
+    parser.add_argument(
         "--full",
         action="store_true",
         help="include the cycle tier on resnet18 (minutes of wall clock)",
@@ -583,10 +686,10 @@ def main() -> None:
         "--check",
         action="store_true",
         help=(
-            "time only the sim backends and the attribution overhead; "
-            "fail (exit 1) on any BACKEND_BUDGETS breach or an "
-            "attribution overhead ratio over OBS_OVERHEAD_BUDGET; "
-            "writes no JSON"
+            "time only the sim backends, the fleet loop, and the "
+            "attribution overhead; fail (exit 1) on any BACKEND_BUDGETS "
+            "or FLEET_BUDGETS breach or an attribution overhead ratio "
+            "over OBS_OVERHEAD_BUDGET; writes no JSON"
         ),
     )
     args = parser.parse_args()
@@ -614,6 +717,15 @@ def main() -> None:
                     f"{name:>10s}/{backend:<9s} wall {row['wall_s']:7.3f}s"
                     f"  budget {budget_txt:>6s}  {mark}"
                 )
+        fleet = bench_fleet()
+        for key in sorted(fleet["scales"], key=int):
+            row = fleet["scales"][key]
+            mark = "OK" if row["within_budget"] else "OVER BUDGET"
+            print(
+                f"  fleet/N={row['chips']:<3d} wall {row['wall_s_per_run']:7.3f}s"
+                f"  budget {row['budget_s']:5.2f}s  "
+                f"({row['sim_ms_per_wall_s']:.0f} sim-ms/wall-s)  {mark}"
+            )
         breaches = check_budgets(backends)
         failed = bool(breaches)
         if breaches:
@@ -623,6 +735,13 @@ def main() -> None:
                     f"(budget {budget:.2f}s)",
                     file=sys.stderr,
                 )
+        for chips, wall, budget in check_fleet_budgets(fleet):
+            failed = True
+            print(
+                f"FAIL: fleet at {chips} chip(s) took {wall:.3f}s "
+                f"(budget {budget:.2f}s)",
+                file=sys.stderr,
+            )
         if not obs["within_budget"]:
             failed = True
             print(
@@ -632,7 +751,10 @@ def main() -> None:
             )
         if failed:
             sys.exit(1)
-        print("all backends and the attribution overhead within budget")
+        print(
+            "all backends, the fleet loop, and the attribution overhead "
+            "within budget"
+        )
         return
 
     results = {
@@ -685,6 +807,15 @@ def main() -> None:
         json.dump(obs, f, indent=2, sort_keys=True)
         f.write("\n")
 
+    fleet = {
+        "python": platform.python_version(),
+        "machine": platform.machine(),
+        "fleet": bench_fleet(),
+    }
+    with open(args.fleet_out, "w") as f:
+        json.dump(fleet, f, indent=2, sort_keys=True)
+        f.write("\n")
+
     mac = results["mac"]
     print(
         f"mac: ref {mac['reference_us_per_mac']:.1f}us  "
@@ -725,6 +856,17 @@ def main() -> None:
         f"(budget {attr['budget_ratio']:.2f}x; "
         f"wall {attr['wall_ratio']:.3f}x advisory)"
     )
+    print(
+        "fleet loop: "
+        + "  ".join(
+            f"N={row['chips']} {row['requests_per_sec']:.0f} req/s"
+            f"/{row['sim_ms_per_wall_s']:.0f} sim-ms/wall-s"
+            for row in (
+                fleet["fleet"]["scales"][k]
+                for k in sorted(fleet["fleet"]["scales"], key=int)
+            )
+        )
+    )
     rn18 = backends["backends"]["resnet18"]
     print(
         "backends (resnet18): "
@@ -747,6 +889,7 @@ def main() -> None:
     print(f"wrote {os.path.abspath(args.serving_out)}")
     print(f"wrote {os.path.abspath(args.backends_out)}")
     print(f"wrote {os.path.abspath(args.obs_out)}")
+    print(f"wrote {os.path.abspath(args.fleet_out)}")
 
 
 if __name__ == "__main__":

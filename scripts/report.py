@@ -1,24 +1,30 @@
 #!/usr/bin/env python3
 """Render a run into a self-contained HTML dashboard + JSON artifact.
 
-Two report kinds, one schema (``maicc-obs-report/1``):
+Three report kinds, one schema (``maicc-obs-report/1``):
 
 ``serving``   replays a load scenario (``repro.serving.scenarios``) with
               telemetry and an SLO monitor attached, then renders the
               per-tenant latency attribution, the windowed time series
               (throughput, p99, queue depth, utilization, shed), and
               every burn-rate / queue-growth / resize-thrash alert.
+``fleet``     runs a multi-chip fleet scenario (``repro.fleet``) and
+              renders the datacenter view: per-model SLOs merged across
+              replicas, per-chip load and utilization panels, crash
+              recoveries, and autoscale events.
 ``xcheck``    runs each workload through every ``repro.sim`` backend on
               one mapped plan and renders the cross-tier comparison
               table beside each tier's cycle attribution.
 
-Both artifacts are byte-deterministic: every number is simulation-
+All artifacts are byte-deterministic: every number is simulation-
 derived and nothing reads the wall clock, so the CI ``obs-smoke`` job
 generates each report twice and diffs the bytes.
 
 Run:  PYTHONPATH=src python scripts/report.py serving \\
           --scenario mixed-rate-overloaded --policy elastic \\
           --out report.html --json-out report.json
+      PYTHONPATH=src python scripts/report.py fleet \\
+          --scenario chip-crash --out fleet.html --json-out fleet.json
       PYTHONPATH=src python scripts/report.py xcheck --workload tiny \\
           --out xreport.html --json-out xreport.json
 """
@@ -40,7 +46,10 @@ from repro import telemetry  # noqa: E402
 from repro.core.multi_dnn import MultiDNNScheduler  # noqa: E402
 from repro.obs.html import render_html  # noqa: E402
 from repro.obs.monitor import SLOConfig, SLOMonitor  # noqa: E402
+from repro.fleet import FLEET_SCENARIOS, FleetSimulator  # noqa: E402
+from repro.fleet import build_scenario as build_fleet_scenario  # noqa: E402
 from repro.obs.report import (  # noqa: E402
+    build_fleet_report,
     build_serving_report,
     build_xcheck_report,
     validate_report,
@@ -98,6 +107,30 @@ def serving_report(args: argparse.Namespace) -> Dict[str, object]:
     )
 
 
+def fleet_report(args: argparse.Namespace) -> Dict[str, object]:
+    scenario = build_fleet_scenario(args.scenario, args.chips)
+    simulator = FleetSimulator(
+        scenario.models,
+        scenario.n_chips,
+        balancer=args.balancer or scenario.balancer,
+        seed=args.seed,
+        batch_requests=scenario.batch_requests,
+        failures=scenario.failures,
+        autoscale=scenario.autoscale,
+        workers=args.workers,
+        scenario=scenario.name,
+    )
+    result = simulator.run(args.duration_ms or scenario.duration_ms)
+    print(
+        f"{scenario.name}: {result.total_generated} generated, "
+        f"{result.total_completed} completed, {result.total_shed} shed, "
+        f"{result.total_failed} failed, "
+        f"{len(result.recoveries)} recovery(ies), "
+        f"{len(result.scale_events)} scale event(s)"
+    )
+    return build_fleet_report(result)
+
+
 def xcheck_report(args: argparse.Namespace) -> Dict[str, object]:
     names = sorted(WORKLOADS) if args.workload == "all" else [args.workload]
     backends = args.backends or list(available_backends())
@@ -136,6 +169,19 @@ def main(argv=None) -> int:
     serving.add_argument("--window-ms", type=float, default=10.0,
                          help="SLO monitor / time-series window (default 10)")
 
+    fleet = sub.add_parser("fleet", help="multi-chip fleet dashboard")
+    fleet.add_argument("--scenario", choices=sorted(FLEET_SCENARIOS),
+                       required=True)
+    fleet.add_argument("--chips", type=int, default=None,
+                       help="override the scenario's default chip count")
+    fleet.add_argument("--balancer", default=None, metavar="NAME",
+                       help="cross-chip balancer (default: the scenario's)")
+    fleet.add_argument("--workers", type=int, default=0,
+                       help="shard chips across N processes (0 = serial)")
+    fleet.add_argument("--seed", type=int, default=0)
+    fleet.add_argument("--duration-ms", type=float, default=None,
+                       help="override the scenario's default window")
+
     xcheck = sub.add_parser("xcheck", help="cross-tier dashboard")
     xcheck.add_argument("--workload", choices=sorted(WORKLOADS) + ["all"],
                         default="all")
@@ -143,7 +189,7 @@ def main(argv=None) -> int:
     xcheck.add_argument("--backends", nargs="*", default=None, metavar="NAME",
                         help="tiers to compare (default: all registered)")
 
-    for p in (serving, xcheck):
+    for p in (serving, fleet, xcheck):
         p.add_argument("--out", metavar="PATH", default=None,
                        help="write the HTML dashboard here")
         p.add_argument("--json-out", metavar="PATH", default=None,
@@ -152,6 +198,8 @@ def main(argv=None) -> int:
     args = parser.parse_args(argv)
     if args.kind == "serving":
         doc = serving_report(args)
+    elif args.kind == "fleet":
+        doc = fleet_report(args)
     else:
         doc = xcheck_report(args)
     validate_report(doc)

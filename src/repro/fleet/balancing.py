@@ -1,0 +1,226 @@
+"""Cross-chip load balancing: where does the next request go?
+
+The router keeps a *fluid* load estimate per chip — outstanding
+estimated work (analytic-tier ``est_ms`` per routed request) draining at
+the chip's aggregate service speed (one unit per live replica, divided
+by the chip's degradation factor).  Balancers pick among a model's live
+replica chips using only this estimate, never the chips' internal state:
+routing happens in a separate pass *before* the chip simulations run, so
+serial and process-parallel execution see the identical routing and stay
+byte-identical.
+
+Four policies (``BALANCERS``):
+
+* ``round-robin`` — per-model rotation, load-blind.
+* ``least-loaded`` — argmin of the fluid estimate (ties: lowest chip).
+* ``p2c`` — power of two choices: sample two distinct candidates with a
+  seeded RNG, route to the less loaded.  The classic result: expected
+  max load overshoot drops from ``Θ(log N / log log N)`` (random) to
+  ``Θ(log log N)``.
+* ``sticky`` — locality-aware sticky-tenant: a stable hash of the
+  session key pins each user to one replica chip (cache/weight locality
+  at the cost of load awareness).
+"""
+
+from __future__ import annotations
+
+import random
+import zlib
+from typing import Dict, List, Optional, Sequence
+
+from repro.errors import SimulationError
+
+
+class FluidLoadTracker:
+    """Outstanding estimated work per chip, draining at service speed."""
+
+    def __init__(self) -> None:
+        self._backlog_ms: Dict[int, float] = {}
+        self._updated_ms: Dict[int, float] = {}
+        #: Aggregate drain rate per chip: ``live replicas / degradation``
+        #: (a chip running two replicas at half speed drains one unit of
+        #: service-ms per sim-ms).  The router maintains this as replicas
+        #: move and faults land.
+        self.speed: Dict[int, float] = {}
+
+    def load_ms(self, chip: int, now_ms: float) -> float:
+        """The decayed backlog estimate of ``chip`` at ``now_ms``."""
+        backlog = self._backlog_ms.get(chip, 0.0)
+        updated = self._updated_ms.get(chip, 0.0)
+        if now_ms > updated:
+            backlog = max(
+                0.0, backlog - (now_ms - updated) * self.speed.get(chip, 1.0)
+            )
+        return backlog
+
+    def add(self, chip: int, now_ms: float, est_ms: float) -> None:
+        self._backlog_ms[chip] = self.load_ms(chip, now_ms) + est_ms
+        self._updated_ms[chip] = max(
+            now_ms, self._updated_ms.get(chip, 0.0)
+        )
+
+    def reset_chip(self, chip: int) -> None:
+        self._backlog_ms.pop(chip, None)
+        self._updated_ms.pop(chip, None)
+
+
+class Balancer:
+    """Picks one chip among a model's live replica chips."""
+
+    name = "abstract"
+
+    def __init__(self, tracker: FluidLoadTracker) -> None:
+        self.tracker = tracker
+
+    def choose(
+        self,
+        model: str,
+        candidates: Sequence[int],
+        now_ms: float,
+        *,
+        session: Optional[str] = None,
+    ) -> int:
+        raise NotImplementedError
+
+
+class RoundRobinBalancer(Balancer):
+    """Per-model rotation over the candidate list."""
+
+    name = "round-robin"
+
+    def __init__(self, tracker: FluidLoadTracker) -> None:
+        super().__init__(tracker)
+        self._next: Dict[str, int] = {}
+
+    def choose(
+        self,
+        model: str,
+        candidates: Sequence[int],
+        now_ms: float,
+        *,
+        session: Optional[str] = None,
+    ) -> int:
+        k = self._next.get(model, 0)
+        self._next[model] = k + 1
+        return candidates[k % len(candidates)]
+
+
+class LeastLoadedBalancer(Balancer):
+    """Argmin of the fluid load estimate; ties break to the lowest chip."""
+
+    name = "least-loaded"
+
+    def choose(
+        self,
+        model: str,
+        candidates: Sequence[int],
+        now_ms: float,
+        *,
+        session: Optional[str] = None,
+    ) -> int:
+        return min(
+            candidates,
+            key=lambda chip: (self.tracker.load_ms(chip, now_ms), chip),
+        )
+
+
+class PowerOfTwoBalancer(Balancer):
+    """Sample two distinct candidates (seeded), route to the less loaded."""
+
+    name = "p2c"
+
+    def __init__(self, tracker: FluidLoadTracker, *, seed: int = 0) -> None:
+        super().__init__(tracker)
+        self._rng = random.Random(seed)
+
+    def choose(
+        self,
+        model: str,
+        candidates: Sequence[int],
+        now_ms: float,
+        *,
+        session: Optional[str] = None,
+    ) -> int:
+        n = len(candidates)
+        if n == 1:
+            return candidates[0]
+        i = self._rng.randrange(n)
+        j = self._rng.randrange(n - 1)
+        if j >= i:
+            j += 1
+        a, b = candidates[i], candidates[j]
+        if (self.tracker.load_ms(a, now_ms), a) <= (
+            self.tracker.load_ms(b, now_ms),
+            b,
+        ):
+            return a
+        return b
+
+
+class StickyTenantBalancer(Balancer):
+    """Stable-hash session pinning (locality-aware sticky-tenant).
+
+    The same session key always lands on the same *slot*; when the
+    candidate set shrinks after a crash, sessions re-hash over the
+    survivors (a minimal, deterministic stand-in for consistent
+    hashing).
+    """
+
+    name = "sticky"
+
+    def choose(
+        self,
+        model: str,
+        candidates: Sequence[int],
+        now_ms: float,
+        *,
+        session: Optional[str] = None,
+    ) -> int:
+        key = f"{model}/{session if session is not None else ''}"
+        slot = zlib.crc32(key.encode()) % len(candidates)
+        return candidates[slot]
+
+
+BALANCERS = {
+    "round-robin": RoundRobinBalancer,
+    "least-loaded": LeastLoadedBalancer,
+    "p2c": PowerOfTwoBalancer,
+    "sticky": StickyTenantBalancer,
+}
+
+
+def make_balancer(
+    name: str, tracker: FluidLoadTracker, *, seed: int = 0
+) -> Balancer:
+    try:
+        cls = BALANCERS[name]
+    except KeyError:
+        raise SimulationError(
+            f"unknown balancer {name!r}; choose from {sorted(BALANCERS)}"
+        )
+    if cls is PowerOfTwoBalancer:
+        return PowerOfTwoBalancer(tracker, seed=seed)
+    return cls(tracker)
+
+
+def load_imbalance(loads: Sequence[float]) -> float:
+    """Max/mean chip load — 1.0 is perfectly balanced."""
+    if not loads:
+        return 1.0
+    mean = sum(loads) / len(loads)
+    if mean <= 0:
+        return 1.0
+    return max(loads) / mean
+
+
+__all__ = [
+    "BALANCERS",
+    "Balancer",
+    "FluidLoadTracker",
+    "LeastLoadedBalancer",
+    "PowerOfTwoBalancer",
+    "RoundRobinBalancer",
+    "StickyTenantBalancer",
+    "load_imbalance",
+    "make_balancer",
+]

@@ -1,0 +1,161 @@
+"""Failure scenarios: crashes, slow chips, and partial-mesh faults.
+
+Three failure kinds, all declared up front so a failed run replays
+byte-identically:
+
+* :class:`ChipCrash` — the chip halts at ``at_ms``: queued and in-flight
+  requests are accounted as ``failed`` (never silently dropped), its
+  replicas are re-placed onto survivors (ready after the weight
+  re-staging time), and the router stops sending traffic the instant of
+  the crash.
+* :class:`ChipDegradation` — from ``from_ms`` every service window on
+  the chip is multiplied by ``factor`` (> 1 is slower).  Models a
+  thermally throttled or mis-clocked chip; the router's fluid estimate
+  slows the chip's drain rate by the same factor, so load-aware
+  balancers steer around it.
+* ``partial_mesh`` (a :class:`ChipDegradation` built by
+  :func:`partial_mesh_fault`) — a router-region fault that disables a
+  fraction of the chip's mesh links: the NoC detours around the dead
+  region, stretching every service window by the detour factor.  Same
+  mechanism, distinct provenance in the report.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Tuple
+
+from repro.errors import SimulationError
+
+
+@dataclass(frozen=True)
+class ChipCrash:
+    """One chip halting for good at ``at_ms``."""
+
+    chip: int
+    at_ms: float
+
+    def __post_init__(self) -> None:
+        if self.at_ms <= 0:
+            raise SimulationError(
+                f"crash time must be positive, got {self.at_ms}"
+            )
+
+
+@dataclass(frozen=True)
+class ChipDegradation:
+    """A chip serving slower (factor > 1) from ``from_ms`` onward."""
+
+    chip: int
+    from_ms: float
+    factor: float
+    cause: str = "slow-chip"
+
+    def __post_init__(self) -> None:
+        if self.factor <= 0:
+            raise SimulationError(
+                f"degradation factor must be positive, got {self.factor}"
+            )
+        if self.from_ms < 0:
+            raise SimulationError(
+                f"degradation start must be >= 0, got {self.from_ms}"
+            )
+
+
+def partial_mesh_fault(
+    chip: int, from_ms: float, *, dead_fraction: float = 0.25
+) -> ChipDegradation:
+    """A partial-mesh fault as a service-time stretch.
+
+    With a fraction ``f`` of mesh links down, X-Y detours lengthen the
+    average on-chip route by roughly ``1 / (1 - f)`` — the fluid-level
+    stand-in this layer uses for the cycle-level NoC model.
+    """
+    if not 0.0 < dead_fraction < 1.0:
+        raise SimulationError(
+            f"dead fraction must be in (0, 1), got {dead_fraction}"
+        )
+    return ChipDegradation(
+        chip=chip,
+        from_ms=from_ms,
+        factor=1.0 / (1.0 - dead_fraction),
+        cause="partial-mesh",
+    )
+
+
+@dataclass
+class FailureScenario:
+    """Everything that goes wrong in one fleet run."""
+
+    crashes: List[ChipCrash] = field(default_factory=list)
+    degradations: List[ChipDegradation] = field(default_factory=list)
+
+    def validate(self, n_chips: int) -> None:
+        seen = set()
+        for crash in self.crashes:
+            if not 0 <= crash.chip < n_chips:
+                raise SimulationError(
+                    f"crash names chip {crash.chip} outside fleet of {n_chips}"
+                )
+            if crash.chip in seen:
+                raise SimulationError(
+                    f"chip {crash.chip} crashes more than once"
+                )
+            seen.add(crash.chip)
+        for deg in self.degradations:
+            if not 0 <= deg.chip < n_chips:
+                raise SimulationError(
+                    f"degradation names chip {deg.chip} outside fleet of {n_chips}"
+                )
+
+    def halt_ms(self, chip: int) -> "float | None":
+        for crash in self.crashes:
+            if crash.chip == chip:
+                return crash.at_ms
+        return None
+
+    def degradation_schedule(self, chip: int) -> Tuple[Tuple[float, float], ...]:
+        """Sorted ``(from_ms, factor)`` steps for one chip."""
+        return tuple(
+            sorted(
+                (d.from_ms, d.factor)
+                for d in self.degradations
+                if d.chip == chip
+            )
+        )
+
+    def degradation_factor(self, chip: int, now_ms: float) -> float:
+        factor = 1.0
+        for from_ms, step in self.degradation_schedule(chip):
+            if from_ms <= now_ms:
+                factor = step
+            else:
+                break
+        return factor
+
+    def as_dict(self) -> Dict[str, object]:
+        return {
+            "crashes": [
+                {"chip": c.chip, "at_ms": c.at_ms}
+                for c in sorted(self.crashes, key=lambda c: (c.at_ms, c.chip))
+            ],
+            "degradations": [
+                {
+                    "chip": d.chip,
+                    "from_ms": d.from_ms,
+                    "factor": d.factor,
+                    "cause": d.cause,
+                }
+                for d in sorted(
+                    self.degradations, key=lambda d: (d.from_ms, d.chip)
+                )
+            ],
+        }
+
+
+__all__ = [
+    "ChipCrash",
+    "ChipDegradation",
+    "FailureScenario",
+    "partial_mesh_fault",
+]

@@ -1,0 +1,416 @@
+"""The fleet simulator: N chips, one router, two deterministic phases.
+
+Phase 1 (coordinator): generate every open-loop arrival stream from the
+run's seed, split closed-loop user groups across replica chips, and let
+the :class:`~repro.fleet.router.ClusterRouter` route all traffic in one
+merged time order — interleaving chip crashes and autoscale epochs as
+they fall.  Phase 2: every chip runs an independent
+:class:`~repro.serving.simulator.ServingSimulator` over its pre-routed
+trace (a :class:`~repro.serving.chip.ChipHandle` under a
+:class:`~repro.fleet.replica.ReplicaPolicy` built from plain-data
+profiles).  Chips share nothing, so phase 2 runs serially or sharded
+across worker processes (``fork``) with byte-identical results: the
+merge folds chips in fixed index order either way.
+
+This is where the ROADMAP's process-parallel runner lands: ``workers=N``
+shards chips over a process pool; ``workers=0`` (the default) is the
+serial path.  Both produce the same :class:`~repro.fleet.result.FleetResult`
+bytes, which the tests and the CI ``fleet-smoke`` job pin.
+"""
+
+from __future__ import annotations
+
+import math
+import multiprocessing
+from dataclasses import dataclass, field
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple
+
+from repro.errors import SimulationError
+from repro.fleet.autoscale import AutoscaleConfig, ReplicaAutoscaler
+from repro.fleet.balancing import FluidLoadTracker, make_balancer
+from repro.fleet.failures import FailureScenario
+from repro.fleet.placement import (
+    FleetPlacement,
+    place_replicas,
+    preflight_placement,
+)
+from repro.fleet.profiles import ModelProfile
+from repro.fleet.replica import ReplicaPolicy
+from repro.fleet.result import FleetResult, ModelRollup, merge_latency_histograms
+from repro.fleet.router import ClusterRouter, split_user_groups
+from repro.fleet.traffic import (
+    DiurnalShape,
+    UserGroupArrivals,
+    derive_seed,
+    generate_open_arrivals,
+)
+from repro.nn.workloads import NetworkSpec
+from repro.serving.arrivals import TraceArrivals
+from repro.serving.simulator import ServingSimulator
+from repro.serving.slo import ServingRunResult
+from repro.serving.tenancy import TenantSpec
+from repro.telemetry import MetricsRegistry, Telemetry
+
+#: The MAICC array size the paper's chip exposes (and the repo's
+#: single-chip serving stack defaults to).
+DEFAULT_ARRAY_SIZE = 210
+
+
+@dataclass(frozen=True)
+class OpenLoopTraffic:
+    """A model-wide Poisson request stream (peak ``rate_hz``)."""
+
+    rate_hz: float
+    shape: Optional[DiurnalShape] = None
+
+
+@dataclass(frozen=True)
+class UserGroupTraffic:
+    """``users`` closed-loop sessions with mean think ``think_ms``."""
+
+    users: int
+    think_ms: float
+    shape: Optional[DiurnalShape] = None
+
+
+@dataclass(frozen=True)
+class FleetModelSpec:
+    """One model served fleet-wide."""
+
+    name: str
+    profile: ModelProfile
+    traffic: object            # OpenLoopTraffic | UserGroupTraffic
+    deadline_ms: float = math.inf
+    queue_capacity: Optional[int] = None
+    replicas: int = 1
+    #: The real network, when the profile came from the chip model —
+    #: enables the per-chip PLAN-rule placement preflight.
+    network: Optional[NetworkSpec] = None
+
+
+@dataclass(frozen=True)
+class _TenantWork:
+    """One tenant of one chip's workload (plain data, picklable)."""
+
+    model: str
+    profile: ModelProfile
+    deadline_ms: float
+    queue_capacity: Optional[int]
+    trace: Tuple[float, ...] = ()
+    users: int = 0
+    think_ms: float = 0.0
+    seed: int = 0
+    shape: Optional[DiurnalShape] = None
+
+
+@dataclass(frozen=True)
+class ChipWorkload:
+    """Everything one chip needs to run its slice of the fleet."""
+
+    chip: int
+    duration_ms: float
+    discipline: str
+    batch_requests: int
+    tenants: Tuple[_TenantWork, ...]
+    halt_ms: Optional[float] = None
+    degradation: Tuple[Tuple[float, float], ...] = ()
+    collect_metrics: bool = False
+
+
+def run_chip(
+    workload: ChipWorkload,
+) -> Tuple[Optional[ServingRunResult], Optional[MetricsRegistry]]:
+    """Run one chip's serving simulation (top-level: fork/pickle safe)."""
+    if not workload.tenants:
+        return None, None
+    profiles = {w.model: w.profile for w in workload.tenants}
+    policy = ReplicaPolicy(profiles, degradation=workload.degradation)
+    tenants: List[TenantSpec] = []
+    for work in workload.tenants:
+        if work.users > 0:
+            arrivals: object = UserGroupArrivals(
+                work.users, work.think_ms, seed=work.seed, shape=work.shape
+            )
+        else:
+            arrivals = TraceArrivals(list(work.trace))
+        tenants.append(
+            TenantSpec(
+                name=work.model,
+                network=work.profile.stub_network(),
+                arrivals=arrivals,  # type: ignore[arg-type]
+                deadline_ms=work.deadline_ms,
+                queue_capacity=work.queue_capacity,
+            )
+        )
+    sink = Telemetry() if workload.collect_metrics else None
+    simulator = ServingSimulator(
+        policy,
+        discipline=workload.discipline,
+        batch_requests=workload.batch_requests,
+        preflight=False,  # placement was preflighted on the coordinator
+        telemetry=sink,
+    )
+    chip = simulator.open(
+        tenants, workload.duration_ms, halt_ms=workload.halt_ms
+    )
+    chip.start()
+    chip.queue.run()
+    return chip.finish(), (sink.registry if sink is not None else None)
+
+
+class FleetSimulator:
+    """Simulates a datacenter of MAICC chips behind a cluster router."""
+
+    def __init__(
+        self,
+        models: Sequence[FleetModelSpec],
+        n_chips: int,
+        *,
+        array_size: int = DEFAULT_ARRAY_SIZE,
+        balancer: str = "least-loaded",
+        seed: int = 0,
+        discipline: str = "fifo",
+        batch_requests: int = 1,
+        failures: Optional[FailureScenario] = None,
+        autoscale: Optional[AutoscaleConfig] = None,
+        collect_metrics: bool = False,
+        workers: int = 0,
+        scenario: str = "custom",
+        service: Optional[object] = None,
+    ) -> None:
+        if not models:
+            raise SimulationError("fleet needs at least one model")
+        names = [m.name for m in models]
+        if len(set(names)) != len(names):
+            raise SimulationError(f"model names must be unique, got {names}")
+        if workers < 0:
+            raise SimulationError(f"workers must be >= 0, got {workers}")
+        self.models = list(models)
+        self.n_chips = n_chips
+        self.array_size = array_size
+        self.balancer_name = balancer
+        self.seed = seed
+        self.discipline = discipline
+        self.batch_requests = batch_requests
+        self.failures = failures or FailureScenario()
+        self.failures.validate(n_chips)
+        self.autoscale = autoscale
+        self.collect_metrics = collect_metrics
+        self.workers = workers
+        self.scenario = scenario
+        #: Optional :class:`~repro.serving.service.ServiceModel` — when
+        #: every model carries its real network, placement runs the
+        #: per-chip PLAN-rule co-residency preflight through it.
+        self.service = service
+
+    # -- phase 1: placement + routing -------------------------------------------
+
+    def _place(self) -> FleetPlacement:
+        profiles = {m.name: m.profile for m in self.models}
+        replicas = {m.name: m.replicas for m in self.models}
+        placement = place_replicas(
+            profiles, replicas, self.n_chips, self.array_size
+        )
+        networks = {
+            m.name: m.network for m in self.models if m.network is not None
+        }
+        if self.service is not None and len(networks) == len(self.models):
+            preflight_placement(placement, networks, self.service)
+        return placement
+
+    def run(self, duration_ms: float) -> FleetResult:
+        if duration_ms <= 0:
+            raise SimulationError(
+                f"duration must be positive, got {duration_ms}"
+            )
+        placement = self._place()
+        tracker = FluidLoadTracker()
+        balancer = make_balancer(
+            self.balancer_name, tracker, seed=derive_seed(self.seed, "balancer")
+        )
+        autoscaler = (
+            ReplicaAutoscaler(self.autoscale)
+            if self.autoscale is not None
+            else None
+        )
+        router = ClusterRouter(
+            placement,
+            {m.name: m.profile for m in self.models},
+            balancer,
+            tracker,
+            deadlines_ms={m.name: m.deadline_ms for m in self.models},
+            failures=self.failures,
+            autoscaler=autoscaler,
+        )
+
+        # Sticky session split first: closed-loop groups bind to the
+        # *initial* placement (sessions never migrate; a crash fails the
+        # chip's sessions, visibly, into the failed counter).
+        group_split: Dict[str, Dict[int, int]] = {}
+        for model in self.models:
+            if isinstance(model.traffic, UserGroupTraffic):
+                group_split[model.name] = split_user_groups(
+                    placement, model.name, model.traffic.users
+                )
+
+        streams: Dict[str, List[float]] = {}
+        for model in self.models:
+            if isinstance(model.traffic, OpenLoopTraffic):
+                streams[model.name] = generate_open_arrivals(
+                    model.traffic.rate_hz,
+                    derive_seed(self.seed, "open", model.name),
+                    duration_ms,
+                    shape=model.traffic.shape,
+                )
+        routing = router.route_all(streams, duration_ms)
+
+        # -- phase 2: independent chip simulations ------------------------------
+
+        workloads = self._build_workloads(
+            placement, routing.traces, group_split, duration_ms
+        )
+        outcomes = self._run_chips(workloads)
+
+        # -- phase 3: deterministic merge ---------------------------------------
+
+        chip_results: Dict[int, Optional[ServingRunResult]] = {}
+        registries: List[MetricsRegistry] = []
+        for workload, (result, registry) in zip(workloads, outcomes):
+            chip_results[workload.chip] = result
+            if registry is not None:
+                registries.append(registry)
+
+        rollups: Dict[str, ModelRollup] = {}
+        for model in self.models:
+            rollup = ModelRollup(model=model.name)
+            rollup.router_shed = routing.router_shed.get(model.name, 0)
+            rollup.replicas_final = placement.replica_count(model.name)
+            reports = [
+                result.reports[model.name]
+                for result in chip_results.values()
+                if result is not None and model.name in result.reports
+            ]
+            for report in reports:
+                rollup.arrivals += report.arrivals
+                rollup.completed += report.completed
+                rollup.overrun += report.overrun
+                rollup.shed += report.shed
+                rollup.failed += report.failed
+                rollup.deadline_misses += report.deadline_misses
+            rollup.histogram = merge_latency_histograms(
+                [report.histogram for report in reports]
+            )
+            if isinstance(model.traffic, OpenLoopTraffic):
+                rollup.generated = len(streams[model.name])
+            else:
+                # Closed-loop arrivals are generated on-chip; the chips'
+                # own counts are the ground truth.
+                rollup.generated = rollup.arrivals + rollup.router_shed
+            rollups[model.name] = rollup
+
+        return FleetResult(
+            scenario=self.scenario,
+            balancer=self.balancer_name,
+            n_chips=self.n_chips,
+            duration_ms=duration_ms,
+            seed=self.seed,
+            placement=placement.as_dict(),
+            chip_results=chip_results,
+            models=rollups,
+            routed=routing.routed,
+            recoveries=routing.recoveries,
+            scale_events=routing.scale_events,
+            failures=self.failures.as_dict(),
+            router_alert_count=routing.alert_count,
+            metrics=(
+                MetricsRegistry.merged(registries) if registries else None
+            ),
+        )
+
+    # -- workload assembly ------------------------------------------------------
+
+    def _build_workloads(
+        self,
+        placement: FleetPlacement,
+        traces: Mapping[Tuple[int, str], List[float]],
+        group_split: Mapping[str, Mapping[int, int]],
+        duration_ms: float,
+    ) -> List[ChipWorkload]:
+        by_name = {m.name: m for m in self.models}
+        workloads: List[ChipWorkload] = []
+        for chip in range(self.n_chips):
+            tenant_models = {
+                a.model for a in placement.on_chip(chip)
+            }
+            tenant_models.update(
+                model for (c, model) in traces if c == chip
+            )
+            tenant_models.update(
+                name
+                for name, split in group_split.items()
+                if split.get(chip, 0) > 0
+            )
+            works: List[_TenantWork] = []
+            for name in sorted(tenant_models):
+                model = by_name[name]
+                users = group_split.get(name, {}).get(chip, 0)
+                if users > 0:
+                    works.append(
+                        _TenantWork(
+                            model=name,
+                            profile=model.profile,
+                            deadline_ms=model.deadline_ms,
+                            queue_capacity=model.queue_capacity,
+                            users=users,
+                            think_ms=model.traffic.think_ms,  # type: ignore[attr-defined]
+                            seed=derive_seed(self.seed, "group", chip, name),
+                            shape=model.traffic.shape,  # type: ignore[attr-defined]
+                        )
+                    )
+                else:
+                    works.append(
+                        _TenantWork(
+                            model=name,
+                            profile=model.profile,
+                            deadline_ms=model.deadline_ms,
+                            queue_capacity=model.queue_capacity,
+                            trace=tuple(traces.get((chip, name), ())),
+                        )
+                    )
+            workloads.append(
+                ChipWorkload(
+                    chip=chip,
+                    duration_ms=duration_ms,
+                    discipline=self.discipline,
+                    batch_requests=self.batch_requests,
+                    tenants=tuple(works),
+                    halt_ms=self.failures.halt_ms(chip),
+                    degradation=self.failures.degradation_schedule(chip),
+                    collect_metrics=self.collect_metrics,
+                )
+            )
+        return workloads
+
+    # -- phase 2 execution ------------------------------------------------------
+
+    def _run_chips(
+        self, workloads: Sequence[ChipWorkload]
+    ) -> List[Tuple[Optional[ServingRunResult], Optional[MetricsRegistry]]]:
+        if self.workers and len(workloads) > 1:
+            ctx = multiprocessing.get_context("fork")
+            with ctx.Pool(processes=min(self.workers, len(workloads))) as pool:
+                # map preserves input order, so the merge below folds
+                # chips in index order — identical to the serial path.
+                return pool.map(run_chip, workloads)
+        return [run_chip(w) for w in workloads]
+
+
+__all__ = [
+    "ChipWorkload",
+    "DEFAULT_ARRAY_SIZE",
+    "FleetModelSpec",
+    "FleetSimulator",
+    "OpenLoopTraffic",
+    "UserGroupTraffic",
+    "run_chip",
+]

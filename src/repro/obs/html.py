@@ -563,6 +563,231 @@ def _render_serving(doc: Mapping[str, object]) -> List[str]:
     return out
 
 
+def _absolute_stacked_bars(
+    rows: Sequence[Tuple[str, List[Tuple[str, float]]]],
+    slots: Mapping[str, int],
+    unit: str,
+) -> str:
+    """Horizontal stacked bars on one shared absolute scale.
+
+    Unlike :func:`_stacked_bar_svg` (per-row normalization, composition
+    view), every row here is scaled against the global peak, so bar
+    lengths compare across rows — the right view for per-chip load.
+    """
+    bar_h, row_h, label_w = 18, 30, 110
+    width = 640
+    height = row_h * len(rows) + 4
+    peak = max(
+        (sum(v for _, v in segments) for _, segments in rows), default=0.0
+    )
+    peak = peak if peak > 0 else 1.0
+    span = width - label_w - 8
+    parts = [
+        f'<svg width="{width}" height="{height}" role="img" '
+        f'aria-label="per-chip load stacked bars">'
+    ]
+    for r, (label, segments) in enumerate(rows):
+        y = 4 + r * row_h
+        parts.append(
+            f'<text x="{label_w - 8}" y="{y + bar_h - 5}" '
+            f'text-anchor="end">{escape(label)}</text>'
+        )
+        x = float(label_w)
+        for series, value in segments:
+            if value <= 0:
+                continue
+            w = span * (value / (peak * 1.05))
+            parts.append(
+                f'<rect x="{x:.2f}" y="{y}" width="{max(w, 0.5):.2f}" '
+                f'height="{bar_h}" rx="2" class="tf-{slots.get(series, 0)}">'
+                f"<title>{escape(label)} · {escape(series)}: "
+                f"{_fmt(value)} {escape(unit)}</title></rect>"
+            )
+            x += w
+    parts.append("</svg>")
+    return "".join(parts)
+
+
+def _render_fleet(doc: Mapping[str, object]) -> List[str]:
+    meta = doc["meta"]
+    fleet = doc["fleet"]
+    assert isinstance(meta, dict) and isinstance(fleet, dict)
+    models = fleet["models"]
+    per_chip = fleet["per_chip"]
+    totals = fleet["totals"]
+    utilization = fleet["utilization"]
+    events = fleet["events"]
+    router = fleet["router"]
+    assert isinstance(models, dict) and isinstance(per_chip, dict)
+    assert isinstance(totals, dict) and isinstance(utilization, dict)
+    assert isinstance(events, dict) and isinstance(router, dict)
+    names = sorted(models)
+    slots = _tenant_slots(names)
+    model_legend = _legend([(f"tf-{slots[n]}", n) for n in names])
+    recoveries = events["recoveries"]
+    scale_events = events["scale"]
+    assert isinstance(recoveries, list) and isinstance(scale_events, list)
+
+    out: List[str] = []
+    out.append(
+        "<h1>MAICC fleet run report</h1>"
+        f'<p class="meta">scenario <b>{escape(str(meta["scenario"]))}</b> · '
+        f'balancer <b>{escape(str(meta["balancer"]))}</b> · '
+        f'{_fmt(meta["chips"])} chips · '
+        f'{_fmt(float(meta["duration_ms"]))} ms · '
+        f'seed {_fmt(meta["seed"])}</p>'
+    )
+    fleet_latency = totals["latency_ms"]
+    assert isinstance(fleet_latency, dict)
+    out.append(
+        _tiles(
+            [
+                ("generated", _fmt(totals["generated"])),
+                ("completed", _fmt(totals["completed"])),
+                ("shed", _fmt(totals["shed"])),
+                ("failed", _fmt(totals["failed"])),
+                ("router shed", _fmt(totals["router_shed"])),
+                ("fleet p99 ms",
+                 _fmt(round(float(fleet_latency["p99"]), 3))),
+                ("worst-model p99 ms",
+                 _fmt(round(float(totals["worst_model_p99_ms"]), 3))),
+                ("mean utilization",
+                 _fmt(round(float(totals["mean_utilization"]), 3))),
+                ("conserved", _fmt(bool(totals["conserved"]))),
+            ]
+        )
+    )
+
+    # Per-model fleet rollup (latency merged across replicas).
+    model_rows = []
+    for name in names:
+        m = models[name]
+        latency = m["latency_ms"]
+        model_rows.append(
+            [
+                name,
+                m["generated"],
+                m["completed"],
+                m["shed"],
+                m["failed"],
+                m["router_shed"],
+                _fmt(round(float(latency["p50"]), 4)),
+                _fmt(round(float(latency["p95"]), 4)),
+                _fmt(round(float(latency["p99"]), 4)),
+                m["replicas_final"],
+                _fmt(bool(m["conserved"])),
+            ]
+        )
+    out.append(
+        '<div class="card"><h2>Per-model fleet SLO</h2>'
+        + _table(
+            [
+                "model", "generated", "completed", "shed", "failed",
+                "router shed", "p50 ms", "p95 ms", "p99 ms", "replicas",
+                "conserved",
+            ],
+            model_rows,
+        )
+        + "</div>"
+    )
+
+    # Per-chip panels: routed load by model (absolute scale), then the
+    # per-chip accounting table — the WCAG-clean twin of the bars.
+    routed = router["routed"]
+    assert isinstance(routed, dict)
+    chips = sorted(per_chip, key=int)
+    bar_rows: List[Tuple[str, List[Tuple[str, float]]]] = []
+    chip_rows: List[List[object]] = []
+    for chip in chips:
+        result = per_chip[chip]
+        segments: List[Tuple[str, float]] = []
+        arrivals = completed = shed = failed = 0
+        hosted: List[str] = []
+        if isinstance(result, dict):
+            tenants = result["tenants"]
+            assert isinstance(tenants, dict)
+            for tenant in sorted(tenants):
+                row = tenants[tenant]
+                segments.append((tenant, float(row["arrivals"])))
+                arrivals += int(row["arrivals"])
+                completed += int(row["completed"])
+                shed += int(row["shed"])
+                failed += int(row.get("failed", 0))
+                hosted.append(tenant)
+        bar_rows.append((f"chip {chip}", segments))
+        chip_rows.append(
+            [
+                chip,
+                _fmt(round(float(utilization.get(chip, 0.0)), 3)),
+                arrivals,
+                completed,
+                shed,
+                failed,
+                routed.get(chip, 0),
+                " ".join(hosted) or "—",
+            ]
+        )
+    out.append(
+        '<div class="card"><h2>Per-chip load (arrivals by model)</h2>'
+        + _absolute_stacked_bars(bar_rows, slots, "requests")
+        + model_legend
+        + _table(
+            [
+                "chip", "utilization", "arrivals", "completed", "shed",
+                "failed", "routed", "models",
+            ],
+            chip_rows,
+        )
+        + "</div>"
+    )
+
+    # Control-plane events: crash recoveries and autoscale decisions.
+    if recoveries:
+        rows = [
+            [
+                _fmt(round(float(e["time_ms"]), 3)),
+                e["model"],
+                e["from_chip"],
+                e["to_chip"],
+                _fmt(round(float(e["ready_ms"]), 3)),
+            ]
+            for e in recoveries
+        ]
+        out.append(
+            '<div class="card"><h2>Crash recoveries</h2>'
+            + _table(
+                ["time ms", "model", "from chip", "to chip", "ready ms"],
+                rows,
+            )
+            + "</div>"
+        )
+    if scale_events:
+        rows = [
+            [
+                _fmt(round(float(e["time_ms"]), 3)),
+                e["model"],
+                e["direction"],
+                e["chip"],
+                e["replicas"],
+                _fmt(round(float(e["utilization"]), 3)),
+                _fmt(bool(e["burn_alert"])),
+            ]
+            for e in scale_events
+        ]
+        out.append(
+            '<div class="card"><h2>Autoscale events</h2>'
+            + _table(
+                [
+                    "time ms", "model", "direction", "chip", "replicas",
+                    "window util", "burn alert",
+                ],
+                rows,
+            )
+            + "</div>"
+        )
+    return out
+
+
 def _render_xcheck(doc: Mapping[str, object]) -> List[str]:
     workloads = doc["workloads"]
     assert isinstance(workloads, dict)
@@ -638,6 +863,12 @@ def render_html(doc: Mapping[str, object]) -> str:
         tenants = list(serving["tenants"])  # type: ignore[arg-type]
         body = _render_serving(doc)
         title = "MAICC serving run report"
+    elif kind == "fleet":
+        fleet = doc["fleet"]
+        assert isinstance(fleet, dict)
+        tenants = list(fleet["models"])  # type: ignore[arg-type]
+        body = _render_fleet(doc)
+        title = "MAICC fleet run report"
     else:
         tenants = []
         body = _render_xcheck(doc)

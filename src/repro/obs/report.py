@@ -1,7 +1,7 @@
 """The run-report artifact: one JSON document describing a whole run.
 
-``scripts/report.py`` renders a serving or cross-tier run into two
-artifacts sharing one source of truth:
+``scripts/report.py`` renders a serving, fleet, or cross-tier run into
+two artifacts sharing one source of truth:
 
 * a **JSON document** under the ``maicc-obs-report/1`` schema — the
   machine-readable record ``scripts/bench.py --check`` and the CI
@@ -16,7 +16,7 @@ the CI job diffs two generated reports byte-for-byte.
 
 from __future__ import annotations
 
-from typing import Dict, List, Mapping, Optional, Sequence
+from typing import TYPE_CHECKING, Dict, List, Mapping, Optional, Sequence
 
 from repro.errors import ObservabilityError
 from repro.obs.timeline import PHASE_CATEGORIES, timeline_from_report
@@ -24,10 +24,13 @@ from repro.serving.slo import ServingRunResult
 from repro.sim.report import RunReport
 from repro.sim.xcheck import XCheckReport
 
+if TYPE_CHECKING:
+    from repro.fleet.result import FleetResult
+
 #: The report schema identifier; bump the suffix on breaking changes.
 SCHEMA = "maicc-obs-report/1"
 
-REPORT_KINDS = ("serving", "xcheck")
+REPORT_KINDS = ("serving", "xcheck", "fleet")
 
 
 def build_serving_report(
@@ -98,6 +101,31 @@ def build_xcheck_report(
     }
 
 
+def build_fleet_report(result: "FleetResult") -> Dict[str, object]:
+    """The fleet-run report document.
+
+    The ``fleet`` section is the :meth:`~repro.fleet.result.FleetResult.as_dict`
+    export verbatim — per-model rollups merged across replicas, every
+    chip's full :class:`~repro.serving.slo.ServingRunResult`, the
+    router's control log (recoveries, scale events, shed), and per-chip
+    utilization — so the dashboard and the JSON consumers read one
+    deterministic shape.
+    """
+    fleet = result.as_dict()
+    return {
+        "schema": SCHEMA,
+        "kind": "fleet",
+        "meta": {
+            "scenario": fleet["scenario"],
+            "balancer": fleet["balancer"],
+            "chips": fleet["chips"],
+            "duration_ms": fleet["duration_ms"],
+            "seed": fleet["seed"],
+        },
+        "fleet": fleet,
+    }
+
+
 def _require(doc: Mapping[str, object], key: str, kind: type) -> object:
     if key not in doc:
         raise ObservabilityError(f"report is missing required key {key!r}")
@@ -159,6 +187,41 @@ def validate_report(doc: Mapping[str, object]) -> None:
                     raise ObservabilityError(
                         f"alert record is missing key {key!r}"
                     )
+    elif kind == "fleet":
+        fleet = _require(doc, "fleet", dict)
+        models = _require(fleet, "models", dict)
+        for name, model in models.items():
+            if not isinstance(model, dict):
+                raise ObservabilityError(f"model {name!r} must be a dict")
+            for key in (
+                "generated", "completed", "overrun", "shed", "failed",
+                "router_shed", "conserved", "latency_ms",
+            ):
+                if key not in model:
+                    raise ObservabilityError(
+                        f"model {name!r} is missing key {key!r}"
+                    )
+        per_chip = _require(fleet, "per_chip", dict)
+        for chip, result in per_chip.items():
+            if result is not None and not isinstance(result, dict):
+                raise ObservabilityError(
+                    f"chip {chip!r} result must be a dict or null"
+                )
+        _require(fleet, "router", dict)
+        events = _require(fleet, "events", dict)
+        for key in ("failures", "recoveries", "scale"):
+            if key not in events:
+                raise ObservabilityError(
+                    f"fleet events section is missing key {key!r}"
+                )
+        _require(fleet, "utilization", dict)
+        totals = _require(fleet, "totals", dict)
+        for key in ("generated", "completed", "conserved",
+                    "worst_model_p99_ms", "latency_ms"):
+            if key not in totals:
+                raise ObservabilityError(
+                    f"fleet totals section is missing key {key!r}"
+                )
     else:
         workloads = _require(doc, "workloads", dict)
         for name, workload in workloads.items():
@@ -181,6 +244,7 @@ def validate_report(doc: Mapping[str, object]) -> None:
 __all__ = [
     "REPORT_KINDS",
     "SCHEMA",
+    "build_fleet_report",
     "build_serving_report",
     "build_xcheck_report",
     "validate_report",

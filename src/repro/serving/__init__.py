@@ -45,6 +45,7 @@ from repro.serving.policies import (
     TenantObservation,
     TimeSharedPolicy,
 )
+from repro.serving.chip import ChipHandle
 from repro.serving.queues import AdmissionQueue, DISCIPLINES
 from repro.serving.scenarios import (
     SCENARIOS,
@@ -65,6 +66,7 @@ from repro.serving.tenancy import Request, TenantSpec
 __all__ = [
     "AdmissionQueue",
     "ArrivalProcess",
+    "ChipHandle",
     "ClosedLoopArrivals",
     "DISCIPLINES",
     "ElasticPolicy",

@@ -21,7 +21,7 @@ run, so two runs over the same specs produce byte-identical metrics.
 from __future__ import annotations
 
 import random
-from typing import Optional, Sequence
+from typing import List, Optional, Sequence
 
 from repro.errors import SimulationError
 
@@ -43,6 +43,19 @@ class ArrivalProcess:
     def first_ms(self) -> Optional[float]:
         """Time of the first arrival, or ``None`` for an empty stream."""
         raise NotImplementedError
+
+    def initial_arrivals(self) -> List[float]:
+        """Arrival times seeded before the run starts.
+
+        Open-loop processes seed one arrival (:meth:`first_ms`) and chain
+        the rest through :meth:`next_ms`.  Closed-loop processes with many
+        concurrent users (e.g. :class:`repro.fleet.traffic.UserGroupArrivals`)
+        override this to seed one arrival per user — every completion then
+        schedules that chain's next request, so ``len(initial_arrivals())``
+        chains stay in flight.
+        """
+        first = self.first_ms()
+        return [] if first is None else [first]
 
     def next_ms(self, last_arrival_ms: float) -> Optional[float]:
         """Open loop: the arrival after the one at ``last_arrival_ms``."""

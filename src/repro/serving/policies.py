@@ -101,6 +101,18 @@ class ServingPolicy:
             raise SimulationError(f"batch count must be >= 1, got {count}")
         return count * self.service_ms(tenant)
 
+    def service_scale(self, now_ms: float) -> float:
+        """Chip-wide service-time multiplier at ``now_ms`` (default 1.0).
+
+        The serving loop multiplies every dispatched service window by
+        this factor, so a policy can model chip-level degradation — a
+        thermally throttled chip, a partial-mesh fault — as a step
+        function of sim time (see ``repro.fleet.replica``).  The base
+        policy never degrades; the dispatch path skips the multiply when
+        the factor is exactly 1.0, so default behaviour is bit-identical.
+        """
+        return 1.0
+
     def shares(self) -> Dict[str, int]:
         """Current cores per tenant (empty when the array is not split)."""
         return dict(self._shares)

@@ -21,6 +21,12 @@ discrete-event kernel (:class:`repro.utils.events.EventQueue`) against a
   trace (one ``serving/server/*`` track per partition, resize instants
   on ``serving/partition``).
 
+The mechanics live in :class:`~repro.serving.chip.ChipHandle` — one
+chip's queues, servers, and accounting bound to an event queue — so an
+external router (``repro.fleet``) can drive the same engine headless.
+:meth:`ServingSimulator.run` is the classic single-chip entry point:
+``open`` → ``start`` → determinism scan → drain → ``finish``.
+
 Determinism: all randomness lives in the seeded arrival processes and
 every simultaneous event resolves by the event queue's sequence-number
 tie-break, so two runs with the same specs produce byte-identical
@@ -29,33 +35,18 @@ reports, metrics, and traces.
 
 from __future__ import annotations
 
-import itertools
-import math
-from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence
+from typing import Optional, Sequence
 
 from repro.analysis.determinism import accesses_from_queue, check_batches
 from repro.errors import PlanVerificationError, SimulationError
-from repro.obs.monitor import DEFAULT_WINDOW_MS, AlertEvent, SLOMonitor
-from repro.obs.timeline import AttributionTable
-from repro.serving.policies import ResizeAction, ServingPolicy, TenantObservation
-from repro.serving.queues import DISCIPLINES, AdmissionQueue
-from repro.serving.slo import ResizeEvent, ServingRunResult, TenantReport
-from repro.serving.tenancy import Request, TenantSpec
+from repro.obs.monitor import SLOMonitor
+from repro.serving.chip import ChipHandle, _ServerState  # noqa: F401  (re-export)
+from repro.serving.queues import DISCIPLINES
+from repro.serving.policies import ServingPolicy
+from repro.serving.slo import ServingRunResult
+from repro.serving.tenancy import TenantSpec
 from repro.telemetry import TelemetrySink, current as _current_telemetry
 from repro.utils.events import EventQueue
-
-
-@dataclass
-class _ServerState:
-    """One server's occupancy, resize gate, and accumulated busy time."""
-
-    busy: bool = False
-    free_at_ms: float = 0.0       # completion time of the in-flight request
-    stall_until_ms: float = 0.0   # weight re-staging gate after a resize
-    busy_ms: float = 0.0
-    retry_scheduled: bool = False  # a post-stall dispatch is already queued
-    tenants: List[str] = field(default_factory=list)
 
 
 class ServingSimulator:
@@ -110,12 +101,24 @@ class ServingSimulator:
         self.monitor = monitor
         self._telemetry = telemetry if telemetry is not None else _current_telemetry()
 
-    # -- the run ---------------------------------------------------------------
+    # -- the chip seam ---------------------------------------------------------
 
-    def run(
-        self, tenants: Sequence[TenantSpec], duration_ms: float
-    ) -> ServingRunResult:
-        """Serve ``duration_ms`` of arrivals; drain in-flight work after."""
+    def open(
+        self,
+        tenants: Sequence[TenantSpec],
+        duration_ms: float,
+        *,
+        queue: Optional[EventQueue] = None,
+        halt_ms: Optional[float] = None,
+    ) -> ChipHandle:
+        """Validate, prepare the policy, and bind a :class:`ChipHandle`.
+
+        The handle is inert until :meth:`ChipHandle.start` (self-driven
+        arrivals) or external :meth:`ChipHandle.schedule_injection`
+        calls populate the event queue.  Pass ``queue`` to share one
+        event queue across chips (the fleet router does); pass
+        ``halt_ms`` to crash the chip mid-run.
+        """
         if not tenants:
             raise SimulationError("serving run needs at least one tenant")
         if duration_ms <= 0:
@@ -124,7 +127,6 @@ class ServingSimulator:
         if len(set(names)) != len(names):
             raise SimulationError(f"tenant names must be unique, got {names}")
 
-        specs = {t.name: t for t in tenants}
         for tenant in tenants:
             tenant.arrivals.reset()
         self.policy.prepare(tenants)
@@ -136,441 +138,43 @@ class ServingSimulator:
                     + admission.render(),
                     admission,
                 )
-
-        queue = EventQueue(telemetry=self._telemetry)
-        reports = {t.name: TenantReport(tenant=t.name) for t in tenants}
-        queues = {
-            t.name: AdmissionQueue(
-                capacity=t.queue_capacity, discipline=self.discipline
-            )
-            for t in tenants
-        }
-        servers: Dict[str, _ServerState] = {}
-        for tenant in tenants:
-            server = self.policy.server_of(tenant.name)
-            state = servers.setdefault(server, _ServerState())
-            state.tenants.append(tenant.name)
-        resizes: List[ResizeEvent] = []
-        window_arrivals = {t.name: 0 for t in tenants}
-        arrival_index = {t.name: 0 for t in tenants}
-        admission_seq = itertools.count()
-        sink = self._telemetry
-        table = AttributionTable() if self.attribution else None
-        collect = table is not None and (self.collect_timelines or sink.enabled)
-        #: Dispatch-side attribution cache: tenant -> list indexed by
-        #: batch size of ``[(key, template), billed_dispatches]`` slots
-        #: for the tenant's current generation.  Slots fold into
-        #: ``table`` via :func:`flush_attribution` when a resize closes
-        #: the generation and once after the run.
-        attr_cache: Dict[str, list] = {}
-
-        def flush_attribution(tenant: str) -> None:
-            per = attr_cache.pop(tenant, None)
-            if per is None:
-                return
-            assert table is not None
-            for n, slot in enumerate(per):
-                if slot is not None and slot[1]:
-                    # Each billed dispatch of size n completed n requests.
-                    table.record(slot[0][0], slot[1] * n)
-        monitor = self.monitor
-        window = monitor.config.window_ms if monitor else DEFAULT_WINDOW_MS
-        alerts: List[AlertEvent] = []
-        pending_alerts: List[AlertEvent] = []
-
-        def count(path: str) -> None:
-            if sink.enabled:
-                assert sink.registry is not None
-                sink.registry.counter(path).inc()
-
-        def poll_monitor(now: float) -> None:
-            if monitor is None:
-                return
-            fresh = monitor.poll(now)
-            if not fresh:
-                return
-            alerts.extend(fresh)
-            pending_alerts.extend(fresh)
-            if sink.enabled:
-                assert sink.trace is not None
-                for alert in fresh:
-                    sink.trace.instant(
-                        "serving/slo",
-                        f"{alert.kind}/{alert.tenant}",
-                        alert.time_ms,
-                        args=alert.as_dict(),
-                    )
-
-        # -- service ----------------------------------------------------------
-
-        def pick(server: str) -> Optional[Request]:
-            best_name: Optional[str] = None
-            best_rank: Optional[tuple] = None
-            for name in servers[server].tenants:
-                key = queues[name].peek_key()
-                if key is None:
-                    continue
-                rank = (-specs[name].priority, key)
-                if best_rank is None or rank < best_rank:
-                    best_rank = rank
-                    best_name = name
-            if best_name is None:
-                return None
-            return queues[best_name].pop()
-
-        def dispatch(server: str) -> None:
-            state = servers[server]
-            if state.busy:
-                return
-            now = queue.now
-            if state.stall_until_ms > now:
-                # The partition is mid-resize: service may only start when
-                # re-staging ends.  The wait is real sim-time — the retry
-                # event carries the dequeue forward, never drops it.
-                if not state.retry_scheduled:
-                    state.retry_scheduled = True
-
-                    def resume() -> None:
-                        state.retry_scheduled = False
-                        dispatch(server)
-
-                    queue.schedule(
-                        state.stall_until_ms, resume, tag="serving/resume",
-                        actor=f"server/{server}",
-                        writes=(f"server/{server}",),
-                    )
-                return
-            request = pick(server)
-            if request is None:
-                return
-            # Weight-stationary batching: pull further queued requests of
-            # the *same tenant* (same weights) into this dispatch, up to
-            # the batch limit; they serve back to back with staging paid
-            # once.  batch_requests=1 keeps the historical loop exactly.
-            batch = [request]
-            tenant_queue = queues[request.tenant]
-            while (
-                len(batch) < self.batch_requests
-                and tenant_queue.peek_key() is not None
-            ):
-                batch.append(tenant_queue.pop())
-            for req in batch:
-                req.start_ms = now
-            if len(batch) == 1:
-                service = self.policy.service_ms(request.tenant)
-            else:
-                service = self.policy.batched_service_ms(
-                    request.tenant, len(batch)
-                )
-            finish = now + service
-            if table is not None:
-                # Snapshot the dispatch-time template key: a resize
-                # between now and completion must not re-attribute the
-                # in-flight batch.  The steady state is allocation-free
-                # (dict subscript + two list indexes + integer bump);
-                # the table is only touched on a template miss and when
-                # a generation flushes.
-                n = len(batch)
-                try:
-                    per = attr_cache[request.tenant]
-                except KeyError:
-                    per = attr_cache[request.tenant] = [None] * (
-                        self.batch_requests + 1
-                    )
-                slot = per[n]
-                if slot is None:
-                    slot = per[n] = [
-                        table.lookup(
-                            request.tenant,
-                            n,
-                            lambda: self.policy.service_phases(
-                                request.tenant, n
-                            ),
-                            service,
-                        ),
-                        0,
-                    ]
-                attr = slot[0]
-                if finish <= duration_ms:
-                    # Billing happens here rather than at completion:
-                    # the queue drains every event, so a dispatch whose
-                    # finish lands inside the run always completes, and
-                    # all n requests of the batch finish together.
-                    slot[1] += 1
-            else:
-                attr = None
-            state.busy = True
-            state.free_at_ms = finish
-            if sink.enabled:
-                assert sink.trace is not None
-                args: Dict[str, object] = {"request": request.index}
-                if len(batch) > 1:
-                    args["batched"] = len(batch)
-                sink.trace.complete(
-                    f"serving/server/{server}",
-                    request.tenant,
-                    ts=now,
-                    dur=service,
-                    args=args,
-                )
-            queue.schedule(
-                finish,
-                lambda: complete(server, batch, service, finish, attr),
-                tag="serving/completion",
-                actor=f"server/{server}",
-                writes=(f"server/{server}",),
-            )
-
-        def complete(
-            server: str,
-            batch: List[Request],
-            service: float,
-            finish: float,
-            attr: Optional[tuple],
-        ) -> None:
-            state = servers[server]
-            state.busy = False
-            state.busy_ms += service
-            # Every request of the batch finishes when the batch does;
-            # the per-request service share is what SLO accounting bills.
-            share = service / len(batch)
-            for request in batch:
-                request.finish_ms = finish
-                report = reports[request.tenant]
-                if finish <= duration_ms:
-                    report.record_completion(
-                        request.latency_ms,
-                        request.queue_wait_ms,
-                        share,
-                        met_deadline=request.met_deadline,
-                    )
-                    if collect and attr is not None:
-                        assert table is not None
-                        report.timelines.append(
-                            table.timeline(
-                                request.tenant,
-                                request.index,
-                                request.arrival_ms,
-                                request.start_ms,
-                                request.latency_ms,
-                                attr[1],
-                            )
-                        )
-                    if monitor is not None:
-                        monitor.record_completion(
-                            request.tenant,
-                            finish,
-                            request.latency_ms,
-                            request.met_deadline,
-                        )
-                    count(f"serving/tenant/{request.tenant}/completed")
-                    if not request.met_deadline:
-                        count(f"serving/tenant/{request.tenant}/deadline_misses")
-                    if sink.enabled:
-                        assert sink.registry is not None
-                        sink.registry.histogram(
-                            f"serving/tenant/{request.tenant}/latency_ms",
-                            bounds=report.histogram.bounds,
-                        ).observe(request.latency_ms)
-                        sink.registry.windowed(
-                            f"serving/tenant/{request.tenant}/throughput",
-                            window,
-                        ).observe(finish, 1.0)
-                        sink.registry.windowed(
-                            f"serving/tenant/{request.tenant}/latency_windowed",
-                            window,
-                            bounds=report.histogram.bounds,
-                        ).observe(finish, request.latency_ms)
-                else:
-                    report.overrun += 1
-                spec = specs[request.tenant]
-                if spec.arrivals.closed_loop:
-                    schedule_arrival(
-                        spec, spec.arrivals.after_completion_ms(finish)
-                    )
-            if sink.enabled:
-                assert sink.registry is not None
-                sink.registry.windowed(
-                    f"serving/server/{server}/busy", window
-                ).add_range(finish - service, finish)
-            poll_monitor(finish)
-            dispatch(server)
-
-        # -- arrivals ---------------------------------------------------------
-
-        def schedule_arrival(tenant: TenantSpec, t: Optional[float]) -> None:
-            if t is None or t >= duration_ms:
-                return
-            # Happens-before annotation: an arrival's primary effect is
-            # its own tenant's admission queue, so simultaneous arrivals
-            # of *different* tenants commute (the determinism scan below
-            # checks exactly this).
-            queue.schedule(
-                t, lambda: arrive(tenant, t), tag="serving/arrival",
-                actor=f"tenant/{tenant.name}",
-                writes=(f"queue/{tenant.name}",),
-            )
-
-        def arrive(tenant: TenantSpec, t: float) -> None:
-            report = reports[tenant.name]
-            report.arrivals += 1
-            window_arrivals[tenant.name] += 1
-            count(f"serving/tenant/{tenant.name}/arrivals")
-            request = Request(
-                tenant=tenant.name,
-                index=arrival_index[tenant.name],
-                arrival_ms=t,
-                deadline_ms=t + tenant.deadline_ms,
-                priority=tenant.priority,
-                seq=next(admission_seq),
-            )
-            arrival_index[tenant.name] += 1
-            victim = queues[tenant.name].offer(request)
-            if victim is None or victim is not request:
-                report.admitted += 1
-            if victim is not None:
-                reports[victim.tenant].shed += 1
-                count(f"serving/tenant/{victim.tenant}/shed")
-                if sink.enabled:
-                    assert sink.registry is not None
-                    sink.registry.windowed(
-                        f"serving/tenant/{victim.tenant}/shed_windowed",
-                        window,
-                    ).observe(t, 1.0)
-            if sink.enabled:
-                assert sink.registry is not None
-                sink.registry.gauge(
-                    f"serving/tenant/{tenant.name}/max_queue_depth"
-                ).max(queues[tenant.name].depth)
-                sink.registry.windowed(
-                    f"serving/tenant/{tenant.name}/queue_depth", window
-                ).set(t, float(queues[tenant.name].depth))
-            if monitor is not None:
-                monitor.record_queue_depth(
-                    tenant.name, t, queues[tenant.name].depth
-                )
-            poll_monitor(t)
-            dispatch(self.policy.server_of(tenant.name))
-            if not tenant.arrivals.closed_loop:
-                schedule_arrival(tenant, tenant.arrivals.next_ms(t))
-
-        # -- elastic control --------------------------------------------------
-
-        def control(t: float) -> None:
-            poll_monitor(t)
-            if pending_alerts:
-                self.policy.on_alerts(t, tuple(pending_alerts))
-                pending_alerts.clear()
-            observations = {
-                name: TenantObservation(
-                    arrivals=window_arrivals[name],
-                    queue_depth=queues[name].depth,
-                    busy=servers[self.policy.server_of(name)].busy,
-                )
-                for name in names
-            }
-            for name in names:
-                window_arrivals[name] = 0
-            action = self.policy.on_interval(t, observations)
-            if action is not None:
-                apply_resize(t, action)
-
-        def apply_resize(t: float, action: ResizeAction) -> None:
-            if table is not None:
-                # The resized tenants' service times (and so their phase
-                # templates) changed; in-flight batches keep the key
-                # they dispatched with.
-                for name in action.stall_ms:
-                    flush_attribution(name)
-                    table.invalidate(name)
-            if monitor is not None:
-                monitor.record_resize(t)
-            for name, stall in action.stall_ms.items():
-                server = self.policy.server_of(name)
-                state = servers[server]
-                # Re-staging begins once the in-flight request drains.
-                begin = state.free_at_ms if state.busy else t
-                state.stall_until_ms = max(state.stall_until_ms, max(begin, t) + stall)
-            resizes.append(
-                ResizeEvent(
-                    time_ms=t,
-                    shares=dict(action.shares),
-                    region_starts=dict(action.region_starts),
-                    stall_ms=dict(action.stall_ms),
-                    placements_recomputed=action.placements_recomputed,
-                )
-            )
-            count("serving/resizes")
-            if sink.enabled:
-                assert sink.registry is not None and sink.trace is not None
-                for name, share in action.shares.items():
-                    sink.registry.gauge(f"serving/partition/{name}/cores").set(share)
-                sink.trace.instant(
-                    "serving/partition",
-                    "resize",
-                    t,
-                    args={
-                        "shares": dict(sorted(action.shares.items())),
-                        "stall_ms": dict(sorted(action.stall_ms.items())),
-                    },
-                )
-            # Wake idle resized servers so their queues re-arm behind the
-            # stall gate instead of sleeping until the next arrival.
-            for name in action.stall_ms:
-                dispatch(self.policy.server_of(name))
-
-        for tenant in tenants:
-            schedule_arrival(tenant, tenant.arrivals.first_ms())
-        interval = self.policy.control_interval_ms
-        if interval is not None:
-            ticks = int(math.ceil(duration_ms / interval)) - 1
-            for k in range(1, ticks + 1):
-                t = k * interval
-                if t < duration_ms:
-                    queue.schedule(
-                        t, lambda t=t: control(t), tag="serving/control",
-                        actor="control",
-                        writes=("partition",),
-                    )
-        if self.preflight:
-            # Static determinism scan of the initial event population:
-            # any same-timestamp write-write conflict across actors would
-            # make batched draining order-sensitive (DET801).
-            det = check_batches(accesses_from_queue(queue))
-            if not det.ok:
-                raise PlanVerificationError(
-                    "serving admission found a non-commutative event "
-                    "batch:\n" + det.render(),
-                    det,
-                )
-        queue.run()
-        # Close the monitor's final window (nothing arrives after the
-        # drain, so every open window is decidable now).
-        poll_monitor(queue.now + window)
-
-        if table is not None:
-            for name in list(attr_cache):
-                flush_attribution(name)
-            for name in names:
-                report = reports[name]
-                phase_names, phase_categories, durations = table.aggregate(
-                    name,
-                    report.queue_wait_ms_total,
-                    report.histogram.total,
-                )
-                report.attribution = dict(zip(phase_names, durations))
-                report.attribution_categories = dict(
-                    zip(phase_names, phase_categories)
-                )
-
-        return ServingRunResult(
-            policy=self.policy.name,
-            discipline=self.discipline,
+        return ChipHandle(
+            policy=self.policy,
+            tenants=tenants,
             duration_ms=duration_ms,
-            reports=reports,
-            resizes=resizes,
-            servers={n: self.policy.server_of(n) for n in names},
-            server_busy_ms={s: st.busy_ms for s, st in sorted(servers.items())},
-            final_shares=self.policy.shares(),
-            alerts=alerts,
+            queue=queue if queue is not None else EventQueue(telemetry=self._telemetry),
+            discipline=self.discipline,
+            batch_requests=self.batch_requests,
+            attribution=self.attribution,
+            collect_timelines=self.collect_timelines,
+            monitor=self.monitor,
+            telemetry=self._telemetry,
+            halt_ms=halt_ms,
         )
+
+    def scan_determinism(self, chip: ChipHandle) -> None:
+        """Static determinism scan of the initial event population.
+
+        Any same-timestamp write-write conflict across actors would make
+        batched draining order-sensitive (DET801).
+        """
+        det = check_batches(accesses_from_queue(chip.queue))
+        if not det.ok:
+            raise PlanVerificationError(
+                "serving admission found a non-commutative event "
+                "batch:\n" + det.render(),
+                det,
+            )
+
+    # -- the run ---------------------------------------------------------------
+
+    def run(
+        self, tenants: Sequence[TenantSpec], duration_ms: float
+    ) -> ServingRunResult:
+        """Serve ``duration_ms`` of arrivals; drain in-flight work after."""
+        chip = self.open(tenants, duration_ms)
+        chip.start()
+        if self.preflight:
+            self.scan_determinism(chip)
+        chip.queue.run()
+        return chip.finish()

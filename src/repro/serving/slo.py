@@ -40,6 +40,7 @@ class TenantReport:
     shed: int = 0              # rejected by admission control
     completed: int = 0         # finished inside the run window
     overrun: int = 0           # finished after the window closed
+    failed: int = 0            # lost to a chip halt (crash) — never silent
     deadline_misses: int = 0   # completed, but after their deadline
     latencies_ms: List[float] = field(default_factory=list)
     queue_wait_ms_total: float = 0.0
@@ -117,6 +118,7 @@ class TenantReport:
             "shed": self.shed,
             "completed": self.completed,
             "overrun": self.overrun,
+            "failed": self.failed,
             "deadline_misses": self.deadline_misses,
             "deadline_miss_rate": self.deadline_miss_rate,
             "goodput_rps": self.goodput_rps(duration_ms),
@@ -185,6 +187,10 @@ class ServingRunResult:
         return sum(r.shed for r in self.reports.values())
 
     @property
+    def total_failed(self) -> int:
+        return sum(r.failed for r in self.reports.values())
+
+    @property
     def total_deadline_misses(self) -> int:
         return sum(r.deadline_misses for r in self.reports.values())
 
@@ -223,6 +229,7 @@ class ServingRunResult:
                 "arrivals": self.total_arrivals,
                 "completed": self.total_completed,
                 "shed": self.total_shed,
+                "failed": self.total_failed,
                 "deadline_misses": self.total_deadline_misses,
                 "worst_p99_ms": self.worst_p99_ms,
             },

@@ -1,0 +1,72 @@
+"""scripts/fleet.py CLI: JSON artifacts, assert flags, balancer sweeps."""
+
+import json
+import os
+import subprocess
+import sys
+from pathlib import Path
+
+REPO = Path(__file__).resolve().parents[2]
+FLEET = REPO / "scripts" / "fleet.py"
+
+
+def run_cli(*args, check=True):
+    env = dict(os.environ)
+    env["PYTHONPATH"] = str(REPO / "src")
+    return subprocess.run(
+        [sys.executable, str(FLEET), *args],
+        capture_output=True,
+        text=True,
+        env=env,
+        check=check,
+        cwd=str(REPO),
+    )
+
+
+class TestFleetCli:
+    def test_smoke_run_writes_a_fleet_json(self, tmp_path):
+        out = tmp_path / "fleet.json"
+        proc = run_cli(
+            "--scenario", "fleet-smoke",
+            "--assert-no-shed", "--assert-conserved",
+            "--json-out", str(out),
+        )
+        assert "conserved" in proc.stdout
+        payload = json.loads(out.read_text())
+        assert payload["kind"] == "fleet"
+        assert payload["totals"]["conserved"] is True
+        assert payload["totals"]["shed"] == 0
+
+    def test_no_shed_assert_fails_on_chip_crash(self):
+        proc = run_cli(
+            "--scenario", "chip-crash", "--assert-no-shed", check=False
+        )
+        assert proc.returncode != 0
+
+    def test_conserved_assert_passes_on_chip_crash(self):
+        run_cli("--scenario", "chip-crash", "--assert-conserved")
+
+    def test_balancer_sweep_writes_one_entry_per_policy(self, tmp_path):
+        out = tmp_path / "sweep.json"
+        run_cli(
+            "--scenario", "fleet-smoke",
+            "--balancer", "all",
+            "--duration-ms", "200",
+            "--json-out", str(out),
+        )
+        payload = json.loads(out.read_text())
+        assert set(payload) >= {"round-robin", "least-loaded", "p2c"}
+        for entry in payload.values():
+            assert entry["kind"] == "fleet"
+
+    def test_same_seed_runs_emit_identical_bytes(self, tmp_path):
+        outs = []
+        for name in ("a.json", "b.json"):
+            out = tmp_path / name
+            run_cli(
+                "--scenario", "fleet-smoke",
+                "--seed", "13",
+                "--json-out", str(out),
+            )
+            outs.append(out.read_bytes())
+        assert outs[0] == outs[1]

@@ -1,0 +1,101 @@
+"""Seed derivation, diurnal shaping, and fleet traffic generators."""
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.fleet.traffic import (
+    DiurnalShape,
+    UserGroupArrivals,
+    derive_seed,
+    generate_open_arrivals,
+)
+
+
+class TestDeriveSeed:
+    def test_deterministic(self):
+        assert derive_seed(7, "open", "vision") == derive_seed(7, "open", "vision")
+
+    def test_varies_with_parts(self):
+        seeds = {
+            derive_seed(7, "open", "vision"),
+            derive_seed(7, "open", "speech"),
+            derive_seed(7, "group", "vision"),
+            derive_seed(8, "open", "vision"),
+        }
+        assert len(seeds) == 4
+
+    def test_non_negative(self):
+        for i in range(50):
+            assert derive_seed(i, "x", i) >= 0
+
+
+class TestDiurnalShape:
+    def test_factor_bounds(self):
+        shape = DiurnalShape(period_ms=1000.0, floor=0.2)
+        for t in (0.0, 125.0, 250.0, 500.0, 750.0, 1000.0):
+            assert 0.2 <= shape.factor(t) <= 1.0 + 1e-12
+
+    def test_trough_at_zero_peak_at_half_period(self):
+        shape = DiurnalShape(period_ms=1000.0, floor=0.2)
+        assert shape.factor(0.0) == pytest.approx(0.2)
+        assert shape.factor(500.0) == pytest.approx(1.0)
+
+    def test_rejects_bad_floor(self):
+        with pytest.raises(SimulationError):
+            DiurnalShape(period_ms=1000.0, floor=1.5)
+
+
+class TestOpenArrivals:
+    def test_deterministic_and_sorted(self):
+        a = generate_open_arrivals(500.0, seed=3, duration_ms=1000.0)
+        b = generate_open_arrivals(500.0, seed=3, duration_ms=1000.0)
+        assert a == b
+        assert a == sorted(a)
+        assert all(0.0 <= t < 1000.0 for t in a)
+
+    def test_rate_is_roughly_respected(self):
+        times = generate_open_arrivals(1000.0, seed=5, duration_ms=2000.0)
+        assert 1700 <= len(times) <= 2300
+
+    def test_shape_thins_the_trough(self):
+        shape = DiurnalShape(period_ms=2000.0, floor=0.1)
+        times = generate_open_arrivals(
+            1000.0, seed=5, duration_ms=2000.0, shape=shape
+        )
+        trough = sum(1 for t in times if t < 500.0)
+        peak = sum(1 for t in times if 750.0 <= t < 1250.0)
+        assert peak > 2 * trough
+
+
+class TestUserGroupArrivals:
+    def test_closed_loop_with_one_initial_arrival_per_user(self):
+        group = UserGroupArrivals(users=10, think_ms=50.0, seed=4)
+        assert group.closed_loop
+        initial = group.initial_arrivals()
+        assert len(initial) == 10
+        assert all(0.0 <= t <= 50.0 for t in initial)
+
+    def test_seeded_reset_is_deterministic(self):
+        group = UserGroupArrivals(users=4, think_ms=30.0, seed=9)
+        group.reset()
+        first = [group.after_completion_ms(10.0) for _ in range(20)]
+        group.reset()
+        second = [group.after_completion_ms(10.0) for _ in range(20)]
+        assert first == second
+        assert all(t > 10.0 for t in first)
+
+    def test_shape_shortens_peak_thinks(self):
+        shape = DiurnalShape(period_ms=1000.0, floor=0.1)
+        trough = UserGroupArrivals(users=1, think_ms=40.0, seed=2, shape=shape)
+        peak = UserGroupArrivals(users=1, think_ms=40.0, seed=2, shape=shape)
+        t_trough = sum(
+            trough.after_completion_ms(0.0) - 0.0 for _ in range(200)
+        )
+        t_peak = sum(
+            peak.after_completion_ms(500.0) - 500.0 for _ in range(200)
+        )
+        assert t_peak < t_trough
+
+    def test_rejects_nonpositive_users(self):
+        with pytest.raises(SimulationError):
+            UserGroupArrivals(users=0, think_ms=10.0)

@@ -1,0 +1,173 @@
+"""The ChipHandle seam is a pure refactor: single-chip runs are pinned.
+
+The golden hashes below were captured from the pre-refactor closure-based
+``ServingSimulator.run`` (with the schema-only ``failed: 0`` counter
+injected, since the field was added in the same change).  Any drift in
+event ordering, accounting, or JSON layout fails these pins.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+
+from repro.nn.workloads import ConvLayerSpec, NetworkSpec
+from repro.serving import (
+    ChipHandle,
+    ElasticPolicy,
+    FixedServicePolicy,
+    PoissonArrivals,
+    ServiceModel,
+    ServingSimulator,
+    StaticPartitionPolicy,
+    TenantSpec,
+)
+from repro.serving.scenarios import SCENARIOS
+
+GOLDEN = {
+    "fixed_batched": "64ba882245493810befe5f86d73dc3a85f49b13d965c03a6db98d8789559641d",
+    "smoke/static": "dd4314227736fd4d12fe4da29abdb4984cb0b62fce7f4bd3d48526e93d95317e",
+    "smoke/elastic": "0f00dfbd713d6afb80ef2895de122204a5fa40599272a16e3cd6b7c03ded5b42",
+    "bursty/edf": "266ef2839be2a85cc2ccca687f0cd4d88d234f891d4c0a53a917457a63e2a656",
+}
+
+
+def _pin(result) -> str:
+    return hashlib.sha256(
+        json.dumps(result.as_dict(), indent=2, sort_keys=True).encode()
+    ).hexdigest()
+
+
+def _stub_net() -> NetworkSpec:
+    spec = ConvLayerSpec(index=0, name="stub", h=1, w=1, c=1, m=1)
+    return NetworkSpec(name="stub", layers=(spec,))
+
+
+def _fixed_tenants():
+    net = _stub_net()
+    return [
+        TenantSpec(
+            "a", net, PoissonArrivals(2200, seed=31),
+            deadline_ms=50.0, queue_capacity=256,
+        ),
+        TenantSpec(
+            "b", net, PoissonArrivals(1400, seed=32),
+            deadline_ms=50.0, queue_capacity=256,
+        ),
+    ]
+
+
+def test_fixed_batched_pinned():
+    policy = FixedServicePolicy(
+        {"a": 0.8, "b": 1.1}, staging_ms={"a": 0.6, "b": 0.8}
+    )
+    result = ServingSimulator(policy, batch_requests=8).run(
+        _fixed_tenants(), 2000.0
+    )
+    assert _pin(result) == GOLDEN["fixed_batched"]
+    assert result.total_failed == 0
+
+
+def test_smoke_static_pinned():
+    build, duration = SCENARIOS["smoke"]
+    result = ServingSimulator(StaticPartitionPolicy()).run(build(), duration)
+    assert _pin(result) == GOLDEN["smoke/static"]
+
+
+def test_smoke_elastic_pinned():
+    build, duration = SCENARIOS["smoke"]
+    result = ServingSimulator(
+        ElasticPolicy(ServiceModel(), control_interval_ms=10.0)
+    ).run(build(), duration)
+    assert _pin(result) == GOLDEN["smoke/elastic"]
+
+
+def test_bursty_edf_pinned():
+    build, duration = SCENARIOS["bursty"]
+    result = ServingSimulator(StaticPartitionPolicy(), discipline="edf").run(
+        build(), duration
+    )
+    assert _pin(result) == GOLDEN["bursty/edf"]
+
+
+def test_open_start_drain_matches_run():
+    """Driving the seam by hand is the same machine as ``run``."""
+    policy = FixedServicePolicy(
+        {"a": 0.8, "b": 1.1}, staging_ms={"a": 0.6, "b": 0.8}
+    )
+    sim = ServingSimulator(policy, batch_requests=8)
+    chip = sim.open(_fixed_tenants(), 2000.0)
+    assert isinstance(chip, ChipHandle)
+    chip.start()
+    sim.scan_determinism(chip)
+    chip.queue.run()
+    assert _pin(chip.finish()) == GOLDEN["fixed_batched"]
+
+
+def test_halt_accounts_every_request():
+    """A crash drains queues and in-flight work into ``failed`` — nothing
+    is silently dropped: arrivals == completed + overrun + shed + failed."""
+    policy = FixedServicePolicy(
+        {"a": 0.8, "b": 1.1}, staging_ms={"a": 0.6, "b": 0.8}
+    )
+    sim = ServingSimulator(policy, batch_requests=8)
+    chip = sim.open(_fixed_tenants(), 2000.0, halt_ms=900.0)
+    chip.start()
+    chip.queue.run()
+    result = chip.finish()
+    assert result.total_failed > 0
+    for report in result.reports.values():
+        assert report.arrivals == (
+            report.completed + report.overrun + report.shed + report.failed
+        )
+    # Completions strictly before the halt survive.
+    assert result.total_completed > 0
+    assert all(
+        latency >= 0.0
+        for report in result.reports.values()
+        for latency in report.latencies_ms
+    )
+
+
+def test_halt_rerun_byte_identical():
+    policy = FixedServicePolicy(
+        {"a": 0.8, "b": 1.1}, staging_ms={"a": 0.6, "b": 0.8}
+    )
+
+    def run_once() -> str:
+        sim = ServingSimulator(policy, batch_requests=8)
+        chip = sim.open(_fixed_tenants(), 2000.0, halt_ms=900.0)
+        chip.start()
+        chip.queue.run()
+        return chip.finish().to_json()
+
+    assert run_once() == run_once()
+
+
+def test_injection_drives_chip_headless():
+    """Router-style injections land exactly like self-driven arrivals."""
+    net = _stub_net()
+    from repro.serving import TraceArrivals
+
+    times = [0.5 * k for k in range(1, 21)]
+    tenants = [
+        TenantSpec("t", net, TraceArrivals(times), deadline_ms=50.0),
+    ]
+    policy = FixedServicePolicy({"t": 0.3}, staging_ms={"t": 0.1})
+
+    # Self-driven: the trace chains itself through next_ms.
+    auto = ServingSimulator(policy).run(tenants, 20.0)
+
+    # Router-driven: empty trace, every arrival injected externally.
+    tenants2 = [
+        TenantSpec("t", net, TraceArrivals([]), deadline_ms=50.0),
+    ]
+    sim = ServingSimulator(policy)
+    chip = sim.open(tenants2, 20.0)
+    chip.start()
+    for t in times:
+        chip.schedule_injection("t", t)
+    chip.queue.run()
+    manual = chip.finish()
+
+    assert manual.to_json() == auto.to_json()
