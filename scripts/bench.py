@@ -30,6 +30,13 @@ backends and exits non-zero if any tier exceeds its budget — the CI
 the vectorized event engine (or any other tier) fails the build instead
 of silently re-widening the event-tier gap.
 
+``BENCH_dse.json`` tracks the design-space exploration engine
+(``repro.dse``) on the 16-point smoke sweep — points per second serial
+(workers=0) and on the fork-pool executor (workers=4) — with per-mode
+wall-clock budgets (``DSE_BUDGETS``).  The two runs' consolidated JSON
+must be byte-identical; ``--check`` gates that equality alongside the
+budgets, so a nondeterministic executor fails the build.
+
 Run:  python scripts/bench.py [--out BENCH_macc.json]
                               [--telemetry-out BENCH_telemetry.json]
                               [--full]        # include cycle tier on resnet18
@@ -581,6 +588,67 @@ def check_fleet_budgets(fleet: dict) -> list:
     ]
 
 
+#: Per-worker-count wall-clock budgets (seconds per smoke-sweep run),
+#: enforced by ``--check`` and the CI ``bench-budget`` job.  Roughly
+#: 10x the reference-machine wall time (serial ~0.05 s, fork-pool
+#: ~0.09 s); the workers=4 budget is wider because the fork-pool run
+#: pays process startup on top of the sweep itself.
+DSE_BUDGETS: dict = {0: 1.0, 4: 2.5}
+
+
+def bench_dse() -> dict:
+    """Throughput of the DSE engine on the 16-point smoke sweep.
+
+    Times ``repro.dse.run_sweep`` serial (workers=0) and on the
+    fork-pool executor (workers=4, ``repro.utils.parallel``) and
+    records points per second for both.  The consolidated JSON of the
+    two runs must be byte-identical — that equality is the executor's
+    core guarantee (see docs/DSE.md) and is recorded as
+    ``identical_bytes``, which ``--check`` gates alongside the
+    per-mode wall-clock budgets.
+    """
+    from repro.dse import SWEEPS, run_sweep
+
+    spec = SWEEPS["smoke"]
+    points = spec.size
+    artifacts = {}
+    rows = {}
+    for workers in sorted(DSE_BUDGETS):
+        artifacts[workers] = run_sweep(spec, workers=workers).to_json()
+
+        def run(workers: int = workers):
+            run_sweep(spec, workers=workers)
+
+        t = _time_per_call(run, min_reps=2, budget_s=0.5)
+        rows[str(workers)] = {
+            "workers": workers,
+            "executor": "serial" if workers == 0 else "fork-pool",
+            "wall_s_per_run": t,
+            "points_per_sec": points / t,
+            "budget_s": DSE_BUDGETS[workers],
+            "within_budget": t <= DSE_BUDGETS[workers],
+        }
+    return {
+        "workload": (
+            f"{points}-point smoke sweep (small_cnn, analytic tier), "
+            "serial vs fork-pool executor (repro.utils.parallel)"
+        ),
+        "sweep": spec.name,
+        "points": points,
+        "identical_bytes": len(set(artifacts.values())) == 1,
+        "scales": rows,
+    }
+
+
+def check_dse_budgets(dse: dict) -> list:
+    """Return (workers, wall_s, budget_s) rows over budget."""
+    return [
+        (row["workers"], row["wall_s_per_run"], row["budget_s"])
+        for row in dse["scales"].values()
+        if not row["within_budget"]
+    ]
+
+
 def bench_telemetry() -> dict:
     """Telemetry snapshot: workload cycle counts + top-level counters.
 
@@ -678,6 +746,12 @@ def main() -> None:
         ),
     )
     parser.add_argument(
+        "--dse-out",
+        default=os.path.join(
+            os.path.dirname(__file__), "..", "BENCH_dse.json"
+        ),
+    )
+    parser.add_argument(
         "--full",
         action="store_true",
         help="include the cycle tier on resnet18 (minutes of wall clock)",
@@ -686,10 +760,12 @@ def main() -> None:
         "--check",
         action="store_true",
         help=(
-            "time only the sim backends, the fleet loop, and the "
-            "attribution overhead; fail (exit 1) on any BACKEND_BUDGETS "
-            "or FLEET_BUDGETS breach or an attribution overhead ratio "
-            "over OBS_OVERHEAD_BUDGET; writes no JSON"
+            "time only the sim backends, the fleet loop, the DSE smoke "
+            "sweep, and the attribution overhead; fail (exit 1) on any "
+            "BACKEND_BUDGETS, FLEET_BUDGETS, or DSE_BUDGETS breach, a "
+            "serial-vs-workers byte mismatch in the DSE artifact, or an "
+            "attribution overhead ratio over OBS_OVERHEAD_BUDGET; "
+            "writes no JSON"
         ),
     )
     args = parser.parse_args()
@@ -726,6 +802,20 @@ def main() -> None:
                 f"  budget {row['budget_s']:5.2f}s  "
                 f"({row['sim_ms_per_wall_s']:.0f} sim-ms/wall-s)  {mark}"
             )
+        dse = bench_dse()
+        for key in sorted(dse["scales"], key=int):
+            row = dse["scales"][key]
+            mark = "OK" if row["within_budget"] else "OVER BUDGET"
+            print(
+                f"  dse/workers={row['workers']:<2d} ({row['executor']:<9s}) "
+                f"wall {row['wall_s_per_run']:7.3f}s"
+                f"  budget {row['budget_s']:5.2f}s  "
+                f"({row['points_per_sec']:.0f} points/s)  {mark}"
+            )
+        print(
+            "  dse serial vs workers=4 bytes: "
+            + ("identical" if dse["identical_bytes"] else "MISMATCH")
+        )
         breaches = check_budgets(backends)
         failed = bool(breaches)
         if breaches:
@@ -742,6 +832,19 @@ def main() -> None:
                 f"(budget {budget:.2f}s)",
                 file=sys.stderr,
             )
+        for workers, wall, budget in check_dse_budgets(dse):
+            failed = True
+            print(
+                f"FAIL: dse sweep with workers={workers} took {wall:.3f}s "
+                f"(budget {budget:.2f}s)",
+                file=sys.stderr,
+            )
+        if not dse["identical_bytes"]:
+            failed = True
+            print(
+                "FAIL: dse smoke sweep serial vs workers=4 JSON bytes differ",
+                file=sys.stderr,
+            )
         if not obs["within_budget"]:
             failed = True
             print(
@@ -752,8 +855,8 @@ def main() -> None:
         if failed:
             sys.exit(1)
         print(
-            "all backends, the fleet loop, and the attribution overhead "
-            "within budget"
+            "all backends, the fleet loop, the dse sweep, and the "
+            "attribution overhead within budget"
         )
         return
 
@@ -792,6 +895,8 @@ def main() -> None:
         "python": platform.python_version(),
         "numpy": np.__version__,
         "machine": platform.machine(),
+        "cpu_count": os.cpu_count(),
+        "executor": "serial",
         "backends": bench_backends(full=args.full),
     }
     with open(args.backends_out, "w") as f:
@@ -810,10 +915,22 @@ def main() -> None:
     fleet = {
         "python": platform.python_version(),
         "machine": platform.machine(),
+        "cpu_count": os.cpu_count(),
+        "executor": "serial",
         "fleet": bench_fleet(),
     }
     with open(args.fleet_out, "w") as f:
         json.dump(fleet, f, indent=2, sort_keys=True)
+        f.write("\n")
+
+    dse = {
+        "python": platform.python_version(),
+        "machine": platform.machine(),
+        "cpu_count": os.cpu_count(),
+        "dse": bench_dse(),
+    }
+    with open(args.dse_out, "w") as f:
+        json.dump(dse, f, indent=2, sort_keys=True)
         f.write("\n")
 
     mac = results["mac"]
@@ -867,6 +984,19 @@ def main() -> None:
             )
         )
     )
+    dse_rows = dse["dse"]["scales"]
+    print(
+        "dse smoke sweep: "
+        + "  ".join(
+            f"workers={row['workers']} {row['points_per_sec']:.0f} points/s"
+            for row in (dse_rows[k] for k in sorted(dse_rows, key=int))
+        )
+        + (
+            "  (serial==workers bytes)"
+            if dse["dse"]["identical_bytes"]
+            else "  (BYTE MISMATCH)"
+        )
+    )
     rn18 = backends["backends"]["resnet18"]
     print(
         "backends (resnet18): "
@@ -890,6 +1020,7 @@ def main() -> None:
     print(f"wrote {os.path.abspath(args.backends_out)}")
     print(f"wrote {os.path.abspath(args.obs_out)}")
     print(f"wrote {os.path.abspath(args.fleet_out)}")
+    print(f"wrote {os.path.abspath(args.dse_out)}")
 
 
 if __name__ == "__main__":

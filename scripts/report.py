@@ -1,7 +1,7 @@
 #!/usr/bin/env python3
 """Render a run into a self-contained HTML dashboard + JSON artifact.
 
-Three report kinds, one schema (``maicc-obs-report/1``):
+Four report kinds, one schema (``maicc-obs-report/1``):
 
 ``serving``   replays a load scenario (``repro.serving.scenarios``) with
               telemetry and an SLO monitor attached, then renders the
@@ -15,6 +15,10 @@ Three report kinds, one schema (``maicc-obs-report/1``):
 ``xcheck``    runs each workload through every ``repro.sim`` backend on
               one mapped plan and renders the cross-tier comparison
               table beside each tier's cycle attribution.
+``dse``       runs a named design-space sweep (``repro.dse.presets``)
+              on the process-parallel sweep engine and renders the
+              Pareto frontiers, the per-block energy/area panels, and
+              the baseline comparison tables.
 
 All artifacts are byte-deterministic: every number is simulation-
 derived and nothing reads the wall clock, so the CI ``obs-smoke`` job
@@ -27,6 +31,8 @@ Run:  PYTHONPATH=src python scripts/report.py serving \\
           --scenario chip-crash --out fleet.html --json-out fleet.json
       PYTHONPATH=src python scripts/report.py xcheck --workload tiny \\
           --out xreport.html --json-out xreport.json
+      PYTHONPATH=src python scripts/report.py dse --sweep smoke \\
+          --workers 4 --out dse.html --json-out dse.json
 """
 
 from __future__ import annotations
@@ -48,7 +54,9 @@ from repro.obs.html import render_html  # noqa: E402
 from repro.obs.monitor import SLOConfig, SLOMonitor  # noqa: E402
 from repro.fleet import FLEET_SCENARIOS, FleetSimulator  # noqa: E402
 from repro.fleet import build_scenario as build_fleet_scenario  # noqa: E402
+from repro.dse import SWEEPS, run_sweep  # noqa: E402
 from repro.obs.report import (  # noqa: E402
+    build_dse_report,
     build_fleet_report,
     build_serving_report,
     build_xcheck_report,
@@ -150,6 +158,18 @@ def xcheck_report(args: argparse.Namespace) -> Dict[str, object]:
     return build_xcheck_report(xchecks, runs)
 
 
+def dse_report(args: argparse.Namespace) -> Dict[str, object]:
+    spec = SWEEPS[args.sweep]
+    result = run_sweep(spec, workers=args.workers)
+    counts = result.as_dict()["counts"]
+    print(
+        f"{spec.name}: {len(result.points)} points "
+        f"({counts['ok']} ok, {counts['infeasible']} infeasible, "  # type: ignore[index]
+        f"{counts['rejected']} rejected, {counts['error']} error)"  # type: ignore[index]
+    )
+    return build_dse_report(result)
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(
         description=__doc__,
@@ -189,7 +209,13 @@ def main(argv=None) -> int:
     xcheck.add_argument("--backends", nargs="*", default=None, metavar="NAME",
                         help="tiers to compare (default: all registered)")
 
-    for p in (serving, fleet, xcheck):
+    dse = sub.add_parser("dse", help="design-space exploration dashboard")
+    dse.add_argument("--sweep", choices=sorted(SWEEPS), default="smoke")
+    dse.add_argument("--workers", type=int, default=0,
+                     help="shard design points across N processes "
+                          "(0 = serial; output is byte-identical)")
+
+    for p in (serving, fleet, xcheck, dse):
         p.add_argument("--out", metavar="PATH", default=None,
                        help="write the HTML dashboard here")
         p.add_argument("--json-out", metavar="PATH", default=None,
@@ -200,6 +226,8 @@ def main(argv=None) -> int:
         doc = serving_report(args)
     elif args.kind == "fleet":
         doc = fleet_report(args)
+    elif args.kind == "dse":
+        doc = dse_report(args)
     else:
         doc = xcheck_report(args)
     validate_report(doc)

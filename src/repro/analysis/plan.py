@@ -46,9 +46,12 @@ from repro.mapping.segmentation import Segment, SegmentPlan
 from repro.sim.accounting import boundary_bytes, segment_weight_bytes
 from repro.sim.config import SimConfig
 
-#: Tiles of the 15x14 compute region the zig-zag snake walk covers
-#: (row 0 and row 15 of the 16x16 mesh are LLC rows, one column is
-#: reserved — see :func:`repro.mapping.placement.zigzag_placement`).
+#: Tiles of the default chip's 15x14 compute region (row 0 and row 15
+#: of the 16x16 mesh are LLC rows, one column is reserved — see
+#: :func:`repro.mapping.placement.zigzag_placement`).  The verifier
+#: itself derives the snake-region size from the *configured* chip
+#: (``SimConfig.chip.compute_tiles``), which equals this constant on the
+#: paper's geometry; design-space sweeps hand it other meshes.
 COMPUTE_REGION_TILES = 15 * 14
 
 
@@ -201,12 +204,13 @@ class PlanVerifier:
             (r.region_start, r.region_start + r.footprint, r.name)
             for r in residents
         ]
+        region_tiles = self.config.chip.compute_tiles
         for start, end, name in intervals:
-            if end > COMPUTE_REGION_TILES:
+            if end > region_tiles:
                 self._emit(
                     "PLAN602",
                     f"{name}'s region [{start}, {end}) runs past the "
-                    f"{COMPUTE_REGION_TILES}-tile snake region",
+                    f"{region_tiles}-tile snake region",
                     where=name,
                 )
         for i, (a_start, a_end, a_name) in enumerate(intervals):

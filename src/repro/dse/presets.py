@@ -1,0 +1,52 @@
+"""Named sweeps ``scripts/dse.py --sweep`` and the CI smoke job run.
+
+``smoke``
+    16 analytic points on the tiny CNN — seconds of wall time.  The CI
+    ``dse-smoke`` job runs it serial and with ``--workers 4`` and diffs
+    the JSON bytes.
+``frontier``
+    The headline 240-point sweep: mesh x CMem slices x DRAM channels on
+    ResNet18 + the tiny CNN, analytic and streaming tiers.  Every point
+    currently simulates clean (the 12x12 mesh still fits ResNet18);
+    non-``ok`` rows, when axes grow past feasibility, stay in the
+    artifact — accounting for them is the point of sweeping.
+``channels``
+    A 1-D DRAM-channel slice of the frontier at the paper's chip —
+    isolates the bandwidth sensitivity the Sec. 6.2 overlap discussion
+    describes.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+from repro.dse.spec import SweepSpec
+
+SWEEPS: Dict[str, SweepSpec] = {
+    "smoke": SweepSpec(
+        name="smoke",
+        networks=("small_cnn",),
+        backends=("analytic",),
+        meshes=((16, 16), (12, 12)),
+        cmem_slices=(7, 5),
+        dram_channels=(32, 16),
+        cmem_rows=(64, 32),
+    ),
+    "frontier": SweepSpec(
+        name="frontier",
+        networks=("resnet18", "small_cnn"),
+        backends=("analytic", "streaming"),
+        meshes=((12, 12), (16, 16), (20, 16), (20, 20)),
+        cmem_slices=(5, 7, 9),
+        dram_channels=(8, 16, 32, 48, 64),
+    ),
+    "channels": SweepSpec(
+        name="channels",
+        networks=("resnet18",),
+        backends=("streaming",),
+        dram_channels=(4, 8, 16, 24, 32, 48, 64),
+    ),
+}
+
+
+__all__ = ["SWEEPS"]

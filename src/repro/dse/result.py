@@ -1,0 +1,336 @@
+"""Consolidated sweep results: breakdown tables, reference columns, Pareto.
+
+One :class:`PointResult` per design point (plain data, picklable); one
+:class:`DSEResult` per sweep, joining the energy/area models
+(``repro.energy``) and the calibrated baselines (``repro.baselines``)
+into the consolidated tables the ``dse`` report kind renders:
+
+* ``latency_table`` — latency / throughput / power per point, with
+  ``*_ref`` / ``*_vs_ref`` comparison columns against the paper's
+  ResNet18 measurement where one exists;
+* ``energy_table`` — the Fig. 10 per-block energy split per point, with
+  scalar-core and Neural Cache baseline ratios per network;
+* ``area_table`` — the Fig. 10 per-block area split per *architecture*
+  (points sharing a chip share a row), compared against the paper's
+  28 mm^2 chip;
+* ``pareto`` — the non-dominated (latency, energy) frontier.
+
+The ``*_ref`` column convention follows the MIT energy-harness style:
+``add_compare_ref(row, key, ref)`` adds ``{key}_ref`` (the reference
+value) and ``{key}_vs_ref`` (measured / reference) next to every
+measured column, so a table is self-auditing without a second document.
+
+Everything here is a pure function of the point results, and
+:meth:`DSEResult.to_json` sorts keys — two runs of the same sweep (any
+worker count) serialize byte-identically.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.dse.spec import DesignPoint, SweepSpec
+from repro.sim.report import RunReport
+
+#: Paper reference values the comparison columns anchor to.
+#: ResNet18 numbers are Table 7 (measured MAICC row); the chip area is
+#: the Sec. 5 total; the reference energy is power x latency.
+PAPER_REF_CHIP_AREA_MM2 = 28.0
+PAPER_REF_RESNET18_LATENCY_MS = 5.13
+PAPER_REF_RESNET18_POWER_W = 24.67
+PAPER_REF_RESNET18_ENERGY_J = (
+    PAPER_REF_RESNET18_LATENCY_MS * 1e-3 * PAPER_REF_RESNET18_POWER_W
+)
+
+ENERGY_BLOCKS = ("dram", "cmem", "noc", "core", "llc")
+AREA_BLOCKS = ("cmem", "core", "local_mem", "noc", "llc")
+
+
+def compare_ref(value: float, ref: float) -> float:
+    """Measured / reference — the ratio every ``*_vs_ref`` column holds."""
+    return value / ref
+
+
+def add_compare_ref(row: Dict[str, object], key: str, ref: float) -> None:
+    """Add ``{key}_ref`` and ``{key}_vs_ref`` beside a measured column."""
+    value = row[key]
+    assert isinstance(value, (int, float))
+    row[f"{key}_ref"] = ref
+    row[f"{key}_vs_ref"] = compare_ref(float(value), ref)
+
+
+@dataclass
+class PointResult:
+    """What one design point produced.
+
+    ``status`` is one of ``ok`` (simulated), ``infeasible`` (the mapper
+    could not place the network on this machine), ``rejected`` (the
+    static plan verifier found an error-severity violation), or
+    ``error`` (the backend raised).  Non-``ok`` points carry the reason
+    in ``detail``/``findings`` and keep their row in the artifact — a
+    sweep that silently dropped points would misreport its coverage.
+    """
+
+    point: DesignPoint
+    status: str
+    detail: str = ""
+    findings: Tuple[str, ...] = ()
+    latency_ms: float = 0.0
+    total_cycles: float = 0.0
+    energy_j: Dict[str, float] = field(default_factory=dict)
+    area_mm2: Dict[str, float] = field(default_factory=dict)
+    average_power_w: float = 0.0
+    throughput_samples_s: float = 0.0
+    gops_per_watt: float = 0.0
+    #: Attached only when the engine ran with ``keep_reports=True`` —
+    #: the experiment drivers need the full tier output (per-segment
+    #: flows, the streaming result for Fig. 9); the JSON artifact never
+    #: includes it.
+    report: Optional[RunReport] = None
+
+    @property
+    def ok(self) -> bool:
+        return self.status == "ok"
+
+    @property
+    def total_energy_j(self) -> float:
+        return sum(self.energy_j.values())
+
+    @property
+    def total_area_mm2(self) -> float:
+        return sum(self.area_mm2.values())
+
+    @property
+    def edp_js(self) -> float:
+        """Energy-delay product (J*s) — the scalarized Pareto tiebreak."""
+        return self.total_energy_j * self.latency_ms * 1e-3
+
+    def as_dict(self) -> Dict[str, object]:
+        out: Dict[str, object] = {
+            "point_id": self.point.point_id,
+            "axes": self.point.axes_dict(),
+            "status": self.status,
+        }
+        if self.detail:
+            out["detail"] = self.detail
+        if self.findings:
+            out["findings"] = list(self.findings)
+        if self.ok:
+            out.update(
+                latency_ms=self.latency_ms,
+                total_cycles=self.total_cycles,
+                energy_j=dict(self.energy_j),
+                energy_total_j=self.total_energy_j,
+                area_mm2=dict(self.area_mm2),
+                area_total_mm2=self.total_area_mm2,
+                average_power_w=self.average_power_w,
+                throughput_samples_s=self.throughput_samples_s,
+                gops_per_watt=self.gops_per_watt,
+                edp_js=self.edp_js,
+            )
+        return out
+
+
+def pareto_frontier(
+    results: Sequence[PointResult],
+    objectives: Tuple[str, ...] = ("latency_ms", "total_energy_j"),
+) -> List[PointResult]:
+    """The non-dominated subset of the ``ok`` points, minimizing all
+    ``objectives`` (attribute names on :class:`PointResult`).
+
+    A point is dominated when another point is <= on every objective and
+    strictly < on at least one.  Ties (identical objective vectors) all
+    stay on the frontier.  The frontier is returned sorted by the first
+    objective, then the remaining objectives, then ``point_id`` — a
+    total order, so the artifact is deterministic.
+    """
+    ok = [r for r in results if r.ok]
+
+    def key(r: PointResult) -> Tuple:
+        return tuple(getattr(r, o) for o in objectives) + (r.point.point_id,)
+
+    def dominates(a: PointResult, b: PointResult) -> bool:
+        av = [getattr(a, o) for o in objectives]
+        bv = [getattr(b, o) for o in objectives]
+        return all(x <= y for x, y in zip(av, bv)) and av != bv
+
+    frontier = [
+        r for r in ok
+        if not any(dominates(other, r) for other in ok if other is not r)
+    ]
+    return sorted(frontier, key=key)
+
+
+@dataclass
+class DSEResult:
+    """Everything one sweep produced, consolidated."""
+
+    spec: SweepSpec
+    points: List[PointResult]
+    #: Per-network baseline section: scalar-core and Neural Cache energy
+    #: and cycles for the whole network (single-node models applied
+    #: layer by layer — see ``repro.dse.engine.network_baselines``).
+    baselines: Dict[str, Dict[str, float]] = field(default_factory=dict)
+
+    @property
+    def ok_points(self) -> List[PointResult]:
+        return [r for r in self.points if r.ok]
+
+    def by_id(self, point_id: str) -> PointResult:
+        for r in self.points:
+            if r.point.point_id == point_id:
+                return r
+        raise KeyError(f"no point {point_id!r} in this sweep")
+
+    def pareto_groups(
+        self,
+        objectives: Tuple[str, ...] = ("latency_ms", "total_energy_j"),
+    ) -> Dict[str, List[PointResult]]:
+        """Per-(network, backend) Pareto frontiers, keyed ``net/backend``.
+
+        Architectures compete *for a given workload on a given tier* —
+        a cross-network frontier would just rank networks by size.
+        """
+        groups: Dict[str, List[PointResult]] = {}
+        for r in self.ok_points:
+            key = f"{r.point.network}/{r.point.backend}"
+            groups.setdefault(key, []).append(r)
+        return {
+            key: pareto_frontier(members, objectives)
+            for key, members in sorted(groups.items())
+        }
+
+    def pareto(
+        self,
+        objectives: Tuple[str, ...] = ("latency_ms", "total_energy_j"),
+    ) -> List[PointResult]:
+        """The union of the per-group frontiers, in group order."""
+        out: List[PointResult] = []
+        for members in self.pareto_groups(objectives).values():
+            out.extend(members)
+        return out
+
+    # -- consolidated tables -----------------------------------------------------
+
+    def latency_table(self) -> List[Dict[str, object]]:
+        """Latency / throughput / power per ok point, with paper refs."""
+        rows = []
+        for r in self.ok_points:
+            row: Dict[str, object] = {
+                "point_id": r.point.point_id,
+                "network": r.point.network,
+                "backend": r.point.backend,
+                "latency_ms": r.latency_ms,
+                "total_cycles": r.total_cycles,
+                "throughput_samples_s": r.throughput_samples_s,
+                "average_power_w": r.average_power_w,
+                "gops_per_watt": r.gops_per_watt,
+            }
+            if r.point.network == "resnet18":
+                add_compare_ref(
+                    row, "latency_ms", PAPER_REF_RESNET18_LATENCY_MS
+                )
+                add_compare_ref(
+                    row, "average_power_w", PAPER_REF_RESNET18_POWER_W
+                )
+            rows.append(row)
+        return rows
+
+    def energy_table(self) -> List[Dict[str, object]]:
+        """Per-block energy per ok point + baseline improvement ratios."""
+        rows = []
+        for r in self.ok_points:
+            row: Dict[str, object] = {
+                "point_id": r.point.point_id,
+                "network": r.point.network,
+            }
+            for block in ENERGY_BLOCKS:
+                row[f"{block}_j"] = r.energy_j.get(block, 0.0)
+            row["total_j"] = r.total_energy_j
+            if r.point.network == "resnet18":
+                add_compare_ref(row, "total_j", PAPER_REF_RESNET18_ENERGY_J)
+            base = self.baselines.get(r.point.network, {})
+            for name in ("scalar", "neural_cache"):
+                energy = base.get(f"{name}_energy_j")
+                cycles = base.get(f"{name}_cycles")
+                if energy:
+                    row[f"energy_gain_vs_{name}"] = energy / r.total_energy_j
+                if cycles:
+                    row[f"speedup_vs_{name}"] = cycles / r.total_cycles
+            rows.append(row)
+        return rows
+
+    def area_table(self) -> List[Dict[str, object]]:
+        """Per-block area per distinct architecture (deduplicated).
+
+        Area is a pure function of the chip, not the run, so points
+        sharing (mesh, slices, rows, channels) share one row; the row
+        lists every network/backend that ran on that machine.
+        """
+        seen: Dict[Tuple, Dict[str, object]] = {}
+        for r in self.ok_points:
+            p = r.point
+            arch = (p.mesh, p.cmem_slices, p.cmem_rows, p.dram_channels)
+            if arch in seen:
+                continue
+            w, h = p.mesh
+            row: Dict[str, object] = {
+                "arch": (
+                    f"m{w}x{h}/s{p.cmem_slices}r{p.cmem_rows}"
+                    f"/d{p.dram_channels}"
+                ),
+                "cores": p.compute_tiles,
+            }
+            for block in AREA_BLOCKS:
+                row[f"{block}_mm2"] = r.area_mm2.get(block, 0.0)
+            row["total_mm2"] = r.total_area_mm2
+            add_compare_ref(row, "total_mm2", PAPER_REF_CHIP_AREA_MM2)
+            seen[arch] = row
+        return list(seen.values())
+
+    # -- serialization -----------------------------------------------------------
+
+    def as_dict(self) -> Dict[str, object]:
+        """Deterministic JSON-safe export (points in expansion order)."""
+        counts = {"ok": 0, "infeasible": 0, "rejected": 0, "error": 0}
+        for r in self.points:
+            counts[r.status] = counts.get(r.status, 0) + 1
+        return {
+            "sweep": self.spec.name,
+            "axes": self.spec.axes_dict(),
+            "counts": counts,
+            "points": [r.as_dict() for r in self.points],
+            "pareto": {
+                key: [r.point.point_id for r in members]
+                for key, members in self.pareto_groups().items()
+            },
+            "tables": {
+                "latency": self.latency_table(),
+                "energy": self.energy_table(),
+                "area": self.area_table(),
+            },
+            "baselines": {
+                name: dict(values)
+                for name, values in sorted(self.baselines.items())
+            },
+        }
+
+    def to_json(self) -> str:
+        return json.dumps(self.as_dict(), indent=2, sort_keys=True) + "\n"
+
+
+__all__ = [
+    "AREA_BLOCKS",
+    "ENERGY_BLOCKS",
+    "PAPER_REF_CHIP_AREA_MM2",
+    "PAPER_REF_RESNET18_ENERGY_J",
+    "PAPER_REF_RESNET18_LATENCY_MS",
+    "PAPER_REF_RESNET18_POWER_W",
+    "DSEResult",
+    "PointResult",
+    "add_compare_ref",
+    "compare_ref",
+    "pareto_frontier",
+]

@@ -1,23 +1,32 @@
-"""Figure 10 — area and energy breakdown of the 210-core chip."""
+"""Figure 10 — area and energy breakdown of the 210-core chip.
+
+One design point on the sweep engine: the energy split comes from the
+simulated heuristic ResNet18 run, the area split from the same chip's
+:func:`repro.energy.area.area_breakdown`.
+"""
 
 from __future__ import annotations
 
-from repro.core.simulator import ChipSimulator
+from typing import Optional
+
+from repro.dse.engine import run_sweep
 from repro.energy.area import area_breakdown
 from repro.experiments.report import ExperimentResult
-from repro.nn.workloads import resnet18_spec
+from repro.experiments.table7 import sweep as table7_sweep
 
 PAPER_AREA = {"cmem": 0.65, "core": 0.11, "local_mem": 0.10, "noc": 0.09, "llc": 0.05}
 PAPER_ENERGY = {"dram": 0.71, "cmem": 0.11, "noc": 0.11}
 
 
-def run(
-    simulator: ChipSimulator = None, *, backend: str = None
-) -> ExperimentResult:
+def run(*, backend: Optional[str] = None, workers: int = 0) -> ExperimentResult:
     """``backend`` names the repro.sim fidelity tier to simulate on."""
-    sim = simulator or ChipSimulator()
-    area = area_breakdown(sim.chip.constants)
-    energy = sim.run(resnet18_spec(), "heuristic", backend=backend).energy
+    dse = run_sweep(
+        table7_sweep(backend), workers=workers,
+        keep_reports=True, baselines=False,
+    )
+    point = dse.points[0]
+    area = area_breakdown(point.point.sim_config().chip.constants)
+    energy = point.report.energy
 
     result = ExperimentResult(
         experiment="figure10",

@@ -6,27 +6,34 @@ vectors downstream, sending finished ofmap pixels, and waiting for ifmap
 vectors.  The paper's qualitative findings: send costs are stable across
 strategies, compute scales inversely with allocated nodes, and waiting
 dominates under the single-layer and greedy strategies.
+
+The three strategy runs share Table 6's :class:`~repro.dse.SweepSpec`
+on the sweep engine (``keep_reports=True`` so the streaming tier's
+segment result feeds the breakdown without re-simulation).
 """
 
 from __future__ import annotations
 
-from repro.core.simulator import ChipSimulator
+from typing import Optional
+
+from repro.dse.engine import run_sweep
 from repro.experiments.report import ExperimentResult
-from repro.nn.workloads import resnet18_spec
+from repro.experiments.table6 import STRATEGIES, sweep as table6_sweep
 from repro.sim import streaming_core_breakdown
 
 LAYER_INDEX = 9  # conv2_4
 
 
-def run(
-    simulator: ChipSimulator = None, *, backend: str = None
-) -> ExperimentResult:
+def run(*, backend: Optional[str] = None, workers: int = 0) -> ExperimentResult:
     """``backend`` names the repro.sim tier the run totals come from; the
     per-iteration breakdown itself is defined by the streaming model (a
     streaming-tier run reuses its result, other tiers re-simulate the
-    one segment)."""
-    sim = simulator or ChipSimulator()
-    network = resnet18_spec()
+    one segment).  ``workers`` shards the strategy runs."""
+    dse = run_sweep(
+        table6_sweep(backend), workers=workers,
+        keep_reports=True, baselines=False,
+    )
+    runs = {pr.point.strategy: pr.report for pr in dse.points}
     result = ExperimentResult(
         experiment="figure9",
         title="Figure 9: per-iteration breakdown of layer 9 (cycles)",
@@ -35,8 +42,8 @@ def run(
             "wait_ifmap", "other", "total",
         ],
     )
-    for strategy in ("single-layer", "greedy", "heuristic"):
-        run_result = sim.run(network, strategy, backend=backend)
+    for strategy in STRATEGIES:
+        run_result = runs[strategy]
         for seg_run in run_result.runs:
             if LAYER_INDEX not in seg_run.segment.allocation.nodes:
                 continue

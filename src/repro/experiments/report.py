@@ -1,4 +1,20 @@
-"""Uniform result container + plain-text table rendering."""
+"""Uniform result container + plain-text table rendering.
+
+Why this is NOT :mod:`repro.obs.report`: the two layers serve different
+contracts.  An experiment result is a **byte-pinned replica of one
+published table or figure** — the plain-text rendering here is diffed
+verbatim against checked-in expectations, so its format can never
+change without re-pinning the paper comparison.  An obs report is a
+**schema-versioned run document** (``maicc-obs-report/1``) built for
+dashboards and machine consumers, free to grow new panels.  Since the
+DSE refactor, the *data* behind every experiment driver already flows
+through :func:`repro.dse.run_sweep`; anything that wants the charted /
+validated form of a sweep should go through ``scripts/report.py dse``
+(:func:`repro.obs.report.build_dse_report`), not grow a second schema
+here.  The bridge between the worlds is :meth:`ExperimentResult.as_dict`
+— a deterministic JSON-safe view of the pinned table (``raw`` excluded:
+it holds live simulation objects).
+"""
 
 from __future__ import annotations
 
@@ -28,6 +44,22 @@ class ExperimentResult:
             if row.get(key) == value:
                 return row
         raise KeyError(f"no row with {key}={value!r}")
+
+    def as_dict(self) -> Dict[str, Any]:
+        """JSON-safe view of the pinned table (``raw`` excluded).
+
+        This is the hand-off shape for machine consumers — the same
+        dict-of-lists convention the ``maicc-obs-report/1`` documents
+        use — so tooling that joins experiment pins with obs artifacts
+        never parses the plain-text rendering.
+        """
+        return {
+            "experiment": self.experiment,
+            "title": self.title,
+            "columns": list(self.columns),
+            "rows": [dict(row) for row in self.rows],
+            "notes": list(self.notes),
+        }
 
 
 def _fmt(value: Any) -> str:

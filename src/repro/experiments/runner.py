@@ -34,19 +34,25 @@ def run_experiment(
     telemetry: Optional[_telemetry.TelemetrySink] = None,
     *,
     backend: Optional[str] = None,
+    workers: int = 0,
 ) -> ExperimentResult:
     """``backend`` selects the repro.sim fidelity tier for experiments
-    that simulate networks; experiments without a backend knob (the
-    node-level ablations) ignore it."""
+    that simulate networks; ``workers`` shards an experiment's design
+    points or grid cells across processes on the shared sweep executor
+    (0 = serial; outputs are byte-identical either way).  Experiments
+    without the corresponding knob (the ablations) ignore both."""
     try:
         runner = REGISTRY[name]
     except KeyError:
         raise SystemExit(
             f"unknown experiment {name!r}; available: {', '.join(sorted(REGISTRY))}"
         ) from None
+    params = inspect.signature(runner).parameters
     kwargs = {}
-    if backend is not None and "backend" in inspect.signature(runner).parameters:
+    if backend is not None and "backend" in params:
         kwargs["backend"] = backend
+    if workers and "workers" in params:
+        kwargs["workers"] = workers
     if telemetry is not None:
         with _telemetry.use(telemetry):
             return runner(**kwargs)
@@ -76,6 +82,11 @@ def main(argv=None) -> int:
              "default: streaming)",
     )
     parser.add_argument(
+        "--workers", type=int, default=0, metavar="N",
+        help="shard each experiment's sweep/grid across N processes "
+             "(0 = serial; output is byte-identical either way)",
+    )
+    parser.add_argument(
         "--metrics-out", metavar="PATH", default=None,
         help="enable telemetry and write the metrics registry as JSON",
     )
@@ -100,7 +111,9 @@ def main(argv=None) -> int:
     if args.metrics_out or args.trace_out:
         sink = _telemetry.Telemetry()
     for name in names:
-        result = run_experiment(name, telemetry=sink, backend=args.backend)
+        result = run_experiment(
+            name, telemetry=sink, backend=args.backend, workers=args.workers
+        )
         print(format_table(result))
         print()
     if sink is not None:

@@ -5,15 +5,23 @@ Workload: a CONV layer applying five 3x3x256 filters to a 9x9x256 ifmap,
 accumulators are checked against NumPy); the scalar column measures the
 software inner loop on the same pipeline; Neural Cache is the calibrated
 primitive-cost model.
+
+The three columns are cells of the ``table4-node`` grid evaluator on the
+shared sweep executor (:func:`repro.dse.run_grid`) — each cell is a pure
+function of ``(node, seed, check)``, so ``workers`` shards the columns
+across processes with byte-identical output.
 """
 
 from __future__ import annotations
+
+from typing import Dict, Mapping
 
 import numpy as np
 
 from repro.baselines.neural_cache import NeuralCacheModel
 from repro.baselines.scalar_core import ScalarConvBaseline
 from repro.core.node import MAICCNode, table4_workload
+from repro.dse.engine import register_grid_evaluator, run_grid
 from repro.energy.area import node_area_mm2
 from repro.energy.constants import ChipConstants
 from repro.experiments.report import ExperimentResult
@@ -24,31 +32,60 @@ PAPER = {
     "neural_cache": {"memory_kb": 40, "area_mm2": 0.158, "energy_j": 4.03e-6, "cycles": 136416},
 }
 
+NODES = ("scalar", "maicc", "neural_cache")
 
-def run(seed: int = 42, *, check: bool = True) -> ExperimentResult:
+
+def _evaluate_node(cell: Mapping[str, object]) -> Dict[str, object]:
+    """One Table 4 column (pure; picklable; registered at import time)."""
     spec = table4_workload()
     constants = ChipConstants()
-    rng = np.random.default_rng(seed)
-    weights = rng.integers(-128, 128, size=(spec.m, spec.c, spec.r, spec.s))
-    bias = rng.integers(-1000, 1000, size=spec.m)
-    ifmap = rng.integers(-128, 128, size=(spec.c, spec.h, spec.w))
-
-    # MAICC node: cycle-level, bit-true.
-    node = MAICCNode(spec, weights, bias)
-    maicc = node.run(ifmap)
-    if check and not np.array_equal(maicc.psums, node.reference(ifmap)):
-        raise AssertionError("MAICC node accumulators diverge from NumPy")
-    seconds = maicc.stats.cycles * constants.cycle_seconds
-    maicc_energy = (
-        maicc.cmem_energy_pj * 1e-12
-        + (constants.core_power_w + constants.local_mem_power_w) * seconds
-        + constants.cmem_leakage_w_per_node * seconds
-    )
-
-    scalar = ScalarConvBaseline().run(spec)
-    scalar_area = constants.core_area_mm2 + 20 / 8 * constants.local_mem_area_mm2
-
+    node_kind = cell["node"]
+    if node_kind == "scalar":
+        scalar = ScalarConvBaseline().run(spec)
+        scalar_area = constants.core_area_mm2 + 20 / 8 * constants.local_mem_area_mm2
+        return {
+            "node": "Scalar core", "memory_kb": 20,
+            "area_mm2": round(scalar_area, 3),
+            "energy_j": scalar.energy_j, "cycles": scalar.total_cycles,
+            "raw": scalar,
+        }
+    if node_kind == "maicc":
+        rng = np.random.default_rng(int(cell["seed"]))  # type: ignore[call-overload]
+        weights = rng.integers(-128, 128, size=(spec.m, spec.c, spec.r, spec.s))
+        bias = rng.integers(-1000, 1000, size=spec.m)
+        ifmap = rng.integers(-128, 128, size=(spec.c, spec.h, spec.w))
+        node = MAICCNode(spec, weights, bias)
+        maicc = node.run(ifmap)
+        if cell["check"] and not np.array_equal(maicc.psums, node.reference(ifmap)):
+            raise AssertionError("MAICC node accumulators diverge from NumPy")
+        seconds = maicc.stats.cycles * constants.cycle_seconds
+        maicc_energy = (
+            maicc.cmem_energy_pj * 1e-12
+            + (constants.core_power_w + constants.local_mem_power_w) * seconds
+            + constants.cmem_leakage_w_per_node * seconds
+        )
+        return {
+            "node": "MAICC node", "memory_kb": 20,
+            "area_mm2": round(node_area_mm2(constants), 3),
+            "energy_j": maicc_energy, "cycles": maicc.stats.cycles,
+            "raw": maicc,
+        }
+    assert node_kind == "neural_cache", node_kind
     cache = NeuralCacheModel().run(spec)
+    return {
+        "node": "Neural Cache", "memory_kb": cache.memory_kb,
+        "area_mm2": cache.area_mm2,
+        "energy_j": cache.energy_j, "cycles": cache.cycles,
+        "raw": cache,
+    }
+
+
+register_grid_evaluator("table4-node", _evaluate_node)
+
+
+def run(seed: int = 42, *, check: bool = True, workers: int = 0) -> ExperimentResult:
+    cells = [{"node": kind, "seed": seed, "check": check} for kind in NODES]
+    columns = run_grid("table4-node", cells, workers=workers)
 
     result = ExperimentResult(
         experiment="table4",
@@ -58,27 +95,23 @@ def run(seed: int = 42, *, check: bool = True) -> ExperimentResult:
             "paper_energy_j", "paper_cycles",
         ],
     )
-    result.add_row(
-        node="Scalar core", memory_kb=20, area_mm2=round(scalar_area, 3),
-        energy_j=scalar.energy_j, cycles=scalar.total_cycles,
-        paper_energy_j=PAPER["scalar"]["energy_j"],
-        paper_cycles=PAPER["scalar"]["cycles"],
-    )
-    result.add_row(
-        node="MAICC node", memory_kb=20, area_mm2=round(node_area_mm2(constants), 3),
-        energy_j=maicc_energy, cycles=maicc.stats.cycles,
-        paper_energy_j=PAPER["maicc"]["energy_j"],
-        paper_cycles=PAPER["maicc"]["cycles"],
-    )
-    result.add_row(
-        node="Neural Cache", memory_kb=cache.memory_kb, area_mm2=cache.area_mm2,
-        energy_j=cache.energy_j, cycles=cache.cycles,
-        paper_energy_j=PAPER["neural_cache"]["energy_j"],
-        paper_cycles=PAPER["neural_cache"]["cycles"],
-    )
-    speedup = cache.cycles / maicc.stats.cycles
+    for kind, col in zip(NODES, columns):
+        result.add_row(
+            node=col["node"], memory_kb=col["memory_kb"],
+            area_mm2=col["area_mm2"],
+            energy_j=col["energy_j"], cycles=col["cycles"],
+            paper_energy_j=PAPER[kind]["energy_j"],
+            paper_cycles=PAPER[kind]["cycles"],
+        )
+    maicc_cycles = columns[1]["cycles"]
+    cache_cycles = columns[2]["cycles"]
+    speedup = cache_cycles / maicc_cycles  # type: ignore[operator]
     result.notes.append(
         f"MAICC vs Neural Cache speedup: {speedup:.2f}x (paper: 2.3x)"
     )
-    result.raw = {"maicc": maicc, "scalar": scalar, "neural_cache": cache}
+    result.raw = {
+        "maicc": columns[1]["raw"],
+        "scalar": columns[0]["raw"],
+        "neural_cache": columns[2]["raw"],
+    }
     return result

@@ -5,15 +5,22 @@ write-back ports (1/2) on the Table 4 workload, with and without static
 (compile-time) instruction reordering.  All runs execute the same
 functional kernel on the cycle-level pipeline; psums are identical by
 construction (the scheduler is dependence-safe).
+
+Each scheduling configuration is a cell of the ``table5-node`` grid
+evaluator on the shared sweep executor (:func:`repro.dse.run_grid`) —
+cells are pure functions of ``(seed, queue, wb_ports, static)``, so
+``workers`` shards the 13 pipeline runs across processes with
+byte-identical output.
 """
 
 from __future__ import annotations
 
-from typing import Dict, Tuple
+from typing import Dict, Mapping, Tuple
 
 import numpy as np
 
 from repro.core.node import MAICCNode, table4_workload
+from repro.dse.engine import register_grid_evaluator, run_grid
 from repro.experiments.report import ExperimentResult
 from repro.riscv.pipeline import PipelineConfig
 
@@ -28,37 +35,53 @@ PAPER: Dict[Tuple[int, int, bool], int] = {
 }
 
 
-def run(seed: int = 42) -> ExperimentResult:
+def _evaluate_schedule(cell: Mapping[str, object]) -> Dict[str, object]:
+    """One scheduling configuration (pure; picklable; top-level)."""
     spec = table4_workload()
-    rng = np.random.default_rng(seed)
+    rng = np.random.default_rng(int(cell["seed"]))  # type: ignore[call-overload]
     weights = rng.integers(-128, 128, size=(spec.m, spec.c, spec.r, spec.s))
     bias = rng.integers(-1000, 1000, size=spec.m)
     ifmap = rng.integers(-128, 128, size=(spec.c, spec.h, spec.w))
     node = MAICCNode(spec, weights, bias)
-    reference = node.reference(ifmap)
+    queue = int(cell["queue"])  # type: ignore[call-overload]
+    wb = int(cell["wb_ports"])  # type: ignore[call-overload]
+    static = bool(cell["static"])
+    cfg = PipelineConfig(cmem_queue_size=queue, writeback_ports=wb)
+    res = node.run(ifmap, static=static, pipeline=cfg)
+    if not np.array_equal(res.psums, node.reference(ifmap)):
+        raise AssertionError(
+            f"scheduling config q={queue} wb={wb} static={static} "
+            "changed the results"
+        )
+    return {"queue": queue, "wb_ports": wb, "static": static,
+            "cycles": res.stats.cycles}
+
+
+register_grid_evaluator("table5-node", _evaluate_schedule)
+
+
+def run(seed: int = 42, *, workers: int = 0) -> ExperimentResult:
+    cells = [
+        {"seed": seed, "queue": queue, "wb_ports": wb, "static": static}
+        for static in (False, True)
+        for wb in (1, 2)
+        for queue in (0, 1, 2, 4)
+        if (queue, wb, static) in PAPER
+    ]
+    rows = run_grid("table5-node", cells, workers=workers)
 
     result = ExperimentResult(
         experiment="table5",
         title="Table 5: dynamic + static scheduling (cycles, Table 4 workload)",
         columns=["queue", "wb_ports", "static", "cycles", "paper_cycles"],
     )
-    for static in (False, True):
-        for wb in (1, 2):
-            for queue in (0, 1, 2, 4):
-                if (queue, wb, static) not in PAPER:
-                    continue
-                cfg = PipelineConfig(cmem_queue_size=queue, writeback_ports=wb)
-                res = node.run(ifmap, static=static, pipeline=cfg)
-                if not np.array_equal(res.psums, reference):
-                    raise AssertionError(
-                        f"scheduling config q={queue} wb={wb} static={static} "
-                        "changed the results"
-                    )
-                result.add_row(
-                    queue=queue, wb_ports=wb, static=static,
-                    cycles=res.stats.cycles,
-                    paper_cycles=PAPER[(queue, wb, static)],
-                )
+    for row in rows:
+        key = (row["queue"], row["wb_ports"], row["static"])
+        result.add_row(
+            queue=row["queue"], wb_ports=row["wb_ports"], static=row["static"],
+            cycles=row["cycles"],
+            paper_cycles=PAPER[key],  # type: ignore[index]
+        )
     base = result.row_by("queue", 0)["cycles"]
     best_dyn = min(r["cycles"] for r in result.rows if not r["static"])
     best_static = min(r["cycles"] for r in result.rows if r["static"])

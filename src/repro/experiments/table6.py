@@ -3,15 +3,23 @@
 Maps the 20-layer ResNet18 workload with the single-layer, greedy, and
 heuristic strategies and reports per-layer node-group sizes, per-segment
 latencies, and total inference latency.
+
+The three strategy runs are one :class:`~repro.dse.SweepSpec` with a
+``strategies`` axis, executed on the shared sweep engine — ``workers``
+shards the strategies across processes with byte-identical output
+(every run is a pure function of its design point).
 """
 
 from __future__ import annotations
 
-from typing import Dict
+from typing import Dict, Optional
 
-from repro.core.simulator import ChipSimulator, NetworkRunResult
+from repro.core.simulator import NetworkRunResult
+from repro.dse.engine import run_sweep
+from repro.dse.spec import SweepSpec
 from repro.experiments.report import ExperimentResult
 from repro.nn.workloads import resnet18_spec
+from repro.sim.backends import DEFAULT_BACKEND
 
 PAPER_TOTAL_MS = {"single-layer": 24.078, "greedy": 10.410, "heuristic": 5.138}
 PAPER_NODES = {
@@ -23,16 +31,28 @@ PAPER_NODES = {
                   172, 208, 208, 208, 22],
 }
 
+STRATEGIES = ("single-layer", "greedy", "heuristic")
 
-def run(
-    simulator: ChipSimulator = None, *, backend: str = None
-) -> ExperimentResult:
-    """``backend`` names the repro.sim fidelity tier to simulate on."""
-    sim = simulator or ChipSimulator()
+
+def sweep(backend: Optional[str] = None) -> SweepSpec:
+    """The Table 6 runs as a declarative sweep (strategy axis only)."""
+    return SweepSpec(
+        name="table6",
+        networks=("resnet18",),
+        backends=(backend or DEFAULT_BACKEND,),
+        strategies=STRATEGIES,
+    )
+
+
+def run(*, backend: Optional[str] = None, workers: int = 0) -> ExperimentResult:
+    """``backend`` names the repro.sim fidelity tier to simulate on;
+    ``workers`` shards the strategy runs across processes."""
     network = resnet18_spec()
+    dse = run_sweep(
+        sweep(backend), workers=workers, keep_reports=True, baselines=False
+    )
     runs: Dict[str, NetworkRunResult] = {
-        name: sim.run(network, name, backend=backend)
-        for name in ("single-layer", "greedy", "heuristic")
+        pr.point.strategy: pr.report for pr in dse.points
     }
 
     result = ExperimentResult(
@@ -56,7 +76,8 @@ def run(
             paper_greedy=PAPER_NODES["greedy"][i],
             paper_heuristic=PAPER_NODES["heuristic"][i],
         )
-    for name, run_result in runs.items():
+    for name in STRATEGIES:
+        run_result = runs[name]
         segments = [
             ([s.index for s in r.segment.layers], round(r.cycles / 1e6, 3))
             for r in run_result.runs

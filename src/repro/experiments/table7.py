@@ -1,18 +1,23 @@
 """Table 7 — overall performance of MAICC vs CPU and GPU on ResNet18.
 
-The MAICC row comes from the chip simulator (heuristic mapping); CPU and
-GPU rows come from the calibrated roofline models of
-:mod:`repro.baselines.cpu_gpu` (the silicon itself is unavailable — see
-DESIGN.md substitution #3), with the paper's measured numbers alongside.
-Also reproduces the Sec. 6.3 GFLOPS/W comparison against Neural Cache.
+The MAICC row comes from a single-point :class:`~repro.dse.SweepSpec`
+(heuristic mapping) on the shared sweep engine; CPU and GPU rows come
+from the calibrated roofline models of :mod:`repro.baselines.cpu_gpu`
+(the silicon itself is unavailable — see DESIGN.md substitution #3),
+with the paper's measured numbers alongside.  Also reproduces the
+Sec. 6.3 GFLOPS/W comparison against Neural Cache.
 """
 
 from __future__ import annotations
 
+from typing import Optional
+
 from repro.baselines.cpu_gpu import CPU_I9_13900K, GPU_RTX_4090
-from repro.core.simulator import ChipSimulator
+from repro.dse.engine import run_sweep
+from repro.dse.spec import SweepSpec
 from repro.experiments.report import ExperimentResult
 from repro.nn.workloads import resnet18_spec
+from repro.sim.backends import DEFAULT_BACKEND
 
 PAPER = {
     "CPU": {"latency_ms": 22.3, "throughput": 44.8, "power_w": 176.4, "thr_per_w": 0.25},
@@ -22,13 +27,22 @@ PAPER = {
 PAPER_GFLOPS_PER_W = {"MAICC": 50.03, "NeuralCache": 22.90}
 
 
-def run(
-    simulator: ChipSimulator = None, *, backend: str = None
-) -> ExperimentResult:
+def sweep(backend: Optional[str] = None) -> SweepSpec:
+    """The MAICC row as a single-point sweep at the paper's chip."""
+    return SweepSpec(
+        name="table7",
+        networks=("resnet18",),
+        backends=(backend or DEFAULT_BACKEND,),
+    )
+
+
+def run(*, backend: Optional[str] = None, workers: int = 0) -> ExperimentResult:
     """``backend`` names the repro.sim fidelity tier to simulate on."""
-    sim = simulator or ChipSimulator()
     network = resnet18_spec()
-    maicc = sim.run(network, "heuristic", backend=backend)
+    dse = run_sweep(
+        sweep(backend), workers=workers, keep_reports=True, baselines=False
+    )
+    maicc = dse.points[0].report
 
     result = ExperimentResult(
         experiment="table7",

@@ -12,16 +12,17 @@ profiles).  Chips share nothing, so phase 2 runs serially or sharded
 across worker processes (``fork``) with byte-identical results: the
 merge folds chips in fixed index order either way.
 
-This is where the ROADMAP's process-parallel runner lands: ``workers=N``
-shards chips over a process pool; ``workers=0`` (the default) is the
-serial path.  Both produce the same :class:`~repro.fleet.result.FleetResult`
-bytes, which the tests and the CI ``fleet-smoke`` job pin.
+Phase 2 runs on the repo's shared executor,
+:func:`repro.utils.parallel.run_sharded` (extracted from the fork pool
+this module originally hand-rolled): ``workers=N`` shards chips over a
+process pool; ``workers=0`` (the default) is the serial path.  Both
+produce the same :class:`~repro.fleet.result.FleetResult` bytes, which
+the tests and the CI ``fleet-smoke`` job pin.
 """
 
 from __future__ import annotations
 
 import math
-import multiprocessing
 from dataclasses import dataclass, field
 from typing import Dict, List, Mapping, Optional, Sequence, Tuple
 
@@ -50,6 +51,7 @@ from repro.serving.simulator import ServingSimulator
 from repro.serving.slo import ServingRunResult
 from repro.serving.tenancy import TenantSpec
 from repro.telemetry import MetricsRegistry, Telemetry
+from repro.utils.parallel import run_sharded
 
 #: The MAICC array size the paper's chip exposes (and the repo's
 #: single-chip serving stack defaults to).
@@ -396,13 +398,9 @@ class FleetSimulator:
     def _run_chips(
         self, workloads: Sequence[ChipWorkload]
     ) -> List[Tuple[Optional[ServingRunResult], Optional[MetricsRegistry]]]:
-        if self.workers and len(workloads) > 1:
-            ctx = multiprocessing.get_context("fork")
-            with ctx.Pool(processes=min(self.workers, len(workloads))) as pool:
-                # map preserves input order, so the merge below folds
-                # chips in index order — identical to the serial path.
-                return pool.map(run_chip, workloads)
-        return [run_chip(w) for w in workloads]
+        # run_sharded preserves input order on both paths, so the merge
+        # above folds chips in index order — serial == parallel bytes.
+        return run_sharded(run_chip, workloads, workers=self.workers)
 
 
 __all__ = [

@@ -854,6 +854,293 @@ def _render_xcheck(doc: Mapping[str, object]) -> List[str]:
     return out
 
 
+#: Hardware blocks the DSE panels stack (union of the energy and area
+#: splits); sorted order fixes each block's palette slot.
+DSE_BLOCKS = ("cmem", "core", "dram", "llc", "local_mem", "noc")
+
+#: Neutral mark for dominated design points (works on both surfaces —
+#: identity comes from the table twin, never from color).
+_DOT_FILL = "#898781"
+
+
+def _pareto_scatter(
+    group: str,
+    points: Sequence[Mapping[str, object]],
+    frontier_ids: Sequence[str],
+) -> str:
+    """Latency-energy scatter of one (network, backend) group.
+
+    Dominated points are small neutral dots; the Pareto frontier is a
+    2px staircase with 4px markers.  Native tooltips carry the point
+    ids; the exact values live in the table twin below the chart.
+    """
+    w, h = _PLOT_W, 220
+    top, right = 8, 8
+    xs = [float(p["latency_ms"]) for p in points]  # type: ignore[arg-type]
+    ys = [float(p["energy_total_j"]) for p in points]  # type: ignore[arg-type]
+    peak_x = max(xs, default=0.0) or 1.0
+    peak_y = max(ys, default=0.0) or 1.0
+
+    def xp(v: float) -> float:
+        return _GUTTER_L + (w - _GUTTER_L - right) * (v / (peak_x * 1.05))
+
+    def yp(v: float) -> float:
+        return top + (h - top - _GUTTER_B) * (1.0 - v / (peak_y * 1.05))
+
+    parts = [
+        f'<svg width="{w}" height="{h}" role="img" '
+        f'aria-label="Pareto frontier {escape(group)}">'
+    ]
+    for frac in (0.0, 0.5, 1.0):
+        y = yp(peak_y * frac)
+        cls = "axis" if frac == 0.0 else "grid"
+        parts.append(
+            f'<line x1="{_GUTTER_L}" y1="{y:.2f}" x2="{w - right}" '
+            f'y2="{y:.2f}" class="{cls}"/>'
+            f'<text x="{_GUTTER_L - 6}" y="{y + 4:.2f}" '
+            f'text-anchor="end">{_fmt(round(peak_y * frac, 6))}</text>'
+        )
+        x = xp(peak_x * frac)
+        parts.append(
+            f'<text x="{x:.2f}" y="{h - _GUTTER_B + 16}" '
+            f'text-anchor="middle">{_fmt(round(peak_x * frac, 3))} ms</text>'
+        )
+    by_id = {str(p["point_id"]): p for p in points}
+    frontier = [by_id[pid] for pid in frontier_ids if pid in by_id]
+    dominated = [p for p in points if str(p["point_id"]) not in set(frontier_ids)]
+    for p in dominated:
+        parts.append(
+            f'<circle cx="{xp(float(p["latency_ms"])):.2f}" '  # type: ignore[arg-type]
+            f'cy="{yp(float(p["energy_total_j"])):.2f}" r="3" '  # type: ignore[arg-type]
+            f'fill="{_DOT_FILL}" fill-opacity="0.55">'
+            f'<title>{escape(str(p["point_id"]))}</title></circle>'
+        )
+    if frontier:
+        path = " ".join(
+            f"{'M' if i == 0 else 'L'}"
+            f'{xp(float(p["latency_ms"])):.2f} '  # type: ignore[arg-type]
+            f'{yp(float(p["energy_total_j"])):.2f}'  # type: ignore[arg-type]
+            for i, p in enumerate(frontier)
+        )
+        parts.append(f'<path d="{path}" class="line t-0"/>')
+    for p in frontier:
+        parts.append(
+            f'<circle cx="{xp(float(p["latency_ms"])):.2f}" '  # type: ignore[arg-type]
+            f'cy="{yp(float(p["energy_total_j"])):.2f}" r="4" '  # type: ignore[arg-type]
+            f'class="tf-0"><title>{escape(str(p["point_id"]))}: '
+            f'{_fmt(round(float(p["latency_ms"]), 4))} ms, '  # type: ignore[arg-type]
+            f'{_fmt(float(p["energy_total_j"]))} J</title></circle>'  # type: ignore[arg-type]
+        )
+    parts.append("</svg>")
+    return "".join(parts)
+
+
+def _render_dse(doc: Mapping[str, object]) -> List[str]:
+    meta = doc["meta"]
+    dse = doc["dse"]
+    assert isinstance(meta, dict) and isinstance(dse, dict)
+    counts = dse["counts"]
+    points = dse["points"]
+    pareto = dse["pareto"]
+    tables = dse["tables"]
+    baselines = dse["baselines"]
+    assert isinstance(counts, dict) and isinstance(points, list)
+    assert isinstance(pareto, dict) and isinstance(tables, dict)
+    assert isinstance(baselines, dict)
+    slots = _tenant_slots(DSE_BLOCKS)
+
+    out: List[str] = []
+    out.append(
+        "<h1>MAICC design-space exploration report</h1>"
+        f'<p class="meta">sweep <b>{escape(str(meta["sweep"]))}</b> · '
+        f'{_fmt(meta["points"])} design points · '
+        f"frontier objectives: latency vs total energy "
+        f"(per network / backend)</p>"
+    )
+    out.append(
+        _tiles(
+            [
+                ("points", _fmt(len(points))),
+                ("ok", _fmt(counts.get("ok", 0))),
+                ("infeasible", _fmt(counts.get("infeasible", 0))),
+                ("rejected", _fmt(counts.get("rejected", 0))),
+                ("error", _fmt(counts.get("error", 0))),
+                ("frontier", _fmt(sum(len(m) for m in pareto.values()))),  # type: ignore[arg-type]
+            ]
+        )
+    )
+
+    # One Pareto card per (network, backend) group, with a table twin.
+    ok_points = [p for p in points if p.get("status") == "ok"]
+    for group in sorted(pareto):
+        frontier_ids = pareto[group]
+        assert isinstance(frontier_ids, list)
+        network, backend = str(group).split("/", 1)
+        members = [
+            p for p in ok_points
+            if p["axes"]["network"] == network
+            and p["axes"]["backend"] == backend
+        ]
+        if not members:
+            continue
+        frontier_rows = []
+        by_id = {str(p["point_id"]): p for p in members}
+        for pid in frontier_ids:
+            p = by_id.get(str(pid))
+            if p is None:
+                continue
+            frontier_rows.append(
+                [
+                    p["point_id"],
+                    _fmt(round(float(p["latency_ms"]), 4)),  # type: ignore[arg-type]
+                    _fmt(float(p["energy_total_j"])),  # type: ignore[arg-type]
+                    _fmt(round(float(p["area_total_mm2"]), 3)),  # type: ignore[arg-type]
+                    _fmt(round(float(p["average_power_w"]), 3)),  # type: ignore[arg-type]
+                    _fmt(round(float(p["gops_per_watt"]), 2)),  # type: ignore[arg-type]
+                ]
+            )
+        out.append(
+            f'<div class="card"><h2>Pareto frontier — {escape(str(group))} '
+            f"<small>({len(frontier_ids)} of {len(members)} points)</small>"
+            "</h2>"
+            + _pareto_scatter(str(group), members, [str(i) for i in frontier_ids])
+            + _table(
+                [
+                    "point", "latency ms", "energy J", "area mm²",
+                    "power W", "GOPS/W",
+                ],
+                frontier_rows,
+            )
+            + "</div>"
+        )
+
+    # Energy composition of the frontier points (absolute scale).
+    frontier_all: List[str] = []
+    for group in sorted(pareto):
+        for pid in pareto[group]:  # type: ignore[union-attr]
+            if pid not in frontier_all:
+                frontier_all.append(str(pid))
+    energy_rows_svg: List[Tuple[str, List[Tuple[str, float]]]] = []
+    energy_rows_tab: List[List[object]] = []
+    by_id_all = {str(p["point_id"]): p for p in ok_points}
+    for pid in frontier_all:
+        p = by_id_all.get(pid)
+        if p is None:
+            continue
+        energy = p["energy_j"]
+        assert isinstance(energy, dict)
+        segments = [
+            (block, float(energy[block]))
+            for block in sorted(energy)
+            if float(energy[block]) > 0
+        ]
+        energy_rows_svg.append((pid, segments))
+        energy_rows_tab.append(
+            [pid]
+            + [_fmt(float(energy.get(b, 0.0))) for b in sorted(energy)]
+            + [_fmt(float(p["energy_total_j"]))]  # type: ignore[arg-type]
+        )
+    if energy_rows_svg:
+        blocks = sorted({b for _, segs in energy_rows_svg for b, _ in segs})
+        out.append(
+            '<div class="card"><h2>Energy by block (frontier points, J)</h2>'
+            + _absolute_stacked_bars(energy_rows_svg, slots, "J")
+            + _legend([(f"tf-{slots[b]}", b) for b in blocks])
+            + _table(["point", *blocks, "total"], energy_rows_tab)
+            + "</div>"
+        )
+
+    # Area per distinct architecture (points sharing a chip share a row).
+    area_table = tables["area"]
+    assert isinstance(area_table, list)
+    if area_table:
+        area_rows_svg = []
+        area_rows_tab = []
+        area_blocks = [
+            b for b in ("cmem", "core", "local_mem", "noc", "llc")
+            if f"{b}_mm2" in area_table[0]
+        ]
+        for row in area_table:
+            assert isinstance(row, dict)
+            segments = [
+                (b, float(row[f"{b}_mm2"]))
+                for b in area_blocks
+                if float(row[f"{b}_mm2"]) > 0
+            ]
+            area_rows_svg.append((str(row["arch"]), segments))
+            area_rows_tab.append(
+                [row["arch"], row["cores"]]
+                + [_fmt(round(float(row[f"{b}_mm2"]), 4)) for b in area_blocks]
+                + [
+                    _fmt(round(float(row["total_mm2"]), 3)),
+                    _fmt(round(float(row["total_mm2_vs_ref"]), 4)),
+                ]
+            )
+        out.append(
+            '<div class="card"><h2>Area by block (per architecture, mm²)'
+            "</h2>"
+            + _absolute_stacked_bars(area_rows_svg, slots, "mm²")
+            + _legend([(f"tf-{slots[b]}", b) for b in area_blocks])
+            + _table(
+                ["arch", "cores", *area_blocks, "total", "vs paper 28 mm²"],
+                area_rows_tab,
+            )
+            + "</div>"
+        )
+
+    # Baseline section: whole-network scalar / Neural Cache references.
+    if baselines:
+        base_rows = [
+            [
+                name,
+                _fmt(float(b["scalar_cycles"])),
+                _fmt(float(b["scalar_energy_j"])),
+                _fmt(float(b["neural_cache_cycles"])),
+                _fmt(float(b["neural_cache_energy_j"])),
+                _fmt(float(b["total_macs"])),
+            ]
+            for name, b in sorted(baselines.items())
+            if isinstance(b, dict)
+        ]
+        out.append(
+            '<div class="card"><h2>Single-node baselines (whole network)'
+            "</h2>"
+            + _table(
+                [
+                    "network", "scalar cycles", "scalar J",
+                    "neural cache cycles", "neural cache J", "MACs",
+                ],
+                base_rows,
+            )
+            + "</div>"
+        )
+
+    # Non-simulable points, so the artifact accounts for its coverage.
+    bad = [p for p in points if p.get("status") != "ok"]
+    if bad:
+        cap = 25
+        rows = [
+            [
+                p["point_id"],
+                p["status"],
+                " ".join(str(f) for f in p.get("findings", [])) or "—",
+                str(p.get("detail", ""))[:120],
+            ]
+            for p in bad[:cap]
+        ]
+        more = (
+            f"<p class='meta'>… and {len(bad) - cap} more.</p>"
+            if len(bad) > cap else ""
+        )
+        out.append(
+            '<div class="card"><h2>Non-simulable points</h2>'
+            + _table(["point", "status", "rules", "detail"], rows)
+            + more
+            + "</div>"
+        )
+    return out
+
+
 def render_html(doc: Mapping[str, object]) -> str:
     """Render a validated report document to one self-contained page."""
     kind = doc.get("kind")
@@ -869,6 +1156,10 @@ def render_html(doc: Mapping[str, object]) -> str:
         tenants = list(fleet["models"])  # type: ignore[arg-type]
         body = _render_fleet(doc)
         title = "MAICC fleet run report"
+    elif kind == "dse":
+        tenants = list(DSE_BLOCKS)
+        body = _render_dse(doc)
+        title = "MAICC design-space exploration report"
     else:
         tenants = []
         body = _render_xcheck(doc)

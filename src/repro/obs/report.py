@@ -1,7 +1,8 @@
 """The run-report artifact: one JSON document describing a whole run.
 
-``scripts/report.py`` renders a serving, fleet, or cross-tier run into
-two artifacts sharing one source of truth:
+``scripts/report.py`` renders a serving, fleet, cross-tier, or
+design-space-exploration run into two artifacts sharing one source of
+truth:
 
 * a **JSON document** under the ``maicc-obs-report/1`` schema — the
   machine-readable record ``scripts/bench.py --check`` and the CI
@@ -12,6 +13,14 @@ two artifacts sharing one source of truth:
 Both are byte-deterministic: every number is simulation-derived, every
 mapping is emitted in sorted order, and nothing reads the wall clock —
 the CI job diffs two generated reports byte-for-byte.
+
+The paper-table replicas in :mod:`repro.experiments` deliberately do
+NOT emit this schema: those are byte-pinned plain-text artifacts whose
+format is frozen against checked-in expectations (see the rationale in
+``repro/experiments/report.py``).  Their underlying sweep data reaches
+this schema through the ``dse`` kind instead — the experiment drivers
+are thin :class:`repro.dse.SweepSpec` instances, so ``scripts/report.py
+dse`` charts the same numbers the pinned tables print.
 """
 
 from __future__ import annotations
@@ -25,12 +34,13 @@ from repro.sim.report import RunReport
 from repro.sim.xcheck import XCheckReport
 
 if TYPE_CHECKING:
+    from repro.dse.result import DSEResult
     from repro.fleet.result import FleetResult
 
 #: The report schema identifier; bump the suffix on breaking changes.
 SCHEMA = "maicc-obs-report/1"
 
-REPORT_KINDS = ("serving", "xcheck", "fleet")
+REPORT_KINDS = ("serving", "xcheck", "fleet", "dse")
 
 
 def build_serving_report(
@@ -123,6 +133,30 @@ def build_fleet_report(result: "FleetResult") -> Dict[str, object]:
             "seed": fleet["seed"],
         },
         "fleet": fleet,
+    }
+
+
+def build_dse_report(result: "DSEResult") -> Dict[str, object]:
+    """The design-space-exploration report document.
+
+    The ``dse`` section is the :meth:`~repro.dse.result.DSEResult.as_dict`
+    export verbatim — every expanded point with its status, the
+    per-(network, backend) Pareto frontiers, the consolidated
+    latency/energy/area tables with their ``*_vs_ref`` columns, and the
+    baseline section — so the dashboard and the JSON artifact read one
+    deterministic shape.
+    """
+    dse = result.as_dict()
+    return {
+        "schema": SCHEMA,
+        "kind": "dse",
+        "meta": {
+            "sweep": dse["sweep"],
+            "points": len(result.points),
+            "counts": dse["counts"],
+            "axes": dse["axes"],
+        },
+        "dse": dse,
     }
 
 
@@ -222,6 +256,42 @@ def validate_report(doc: Mapping[str, object]) -> None:
                 raise ObservabilityError(
                     f"fleet totals section is missing key {key!r}"
                 )
+    elif kind == "dse":
+        dse = _require(doc, "dse", dict)
+        _require(dse, "counts", dict)
+        points = _require(dse, "points", list)
+        for point in points:
+            if not isinstance(point, dict):
+                raise ObservabilityError("dse point records must be dicts")
+            for key in ("point_id", "axes", "status"):
+                if key not in point:
+                    raise ObservabilityError(
+                        f"dse point record is missing key {key!r}"
+                    )
+        pareto = _require(dse, "pareto", dict)
+        ids = {p["point_id"] for p in points}  # type: ignore[index]
+        for group, members in pareto.items():
+            if not isinstance(members, list):
+                raise ObservabilityError(
+                    f"pareto group {group!r} must be a list of point ids"
+                )
+            for pid in members:
+                if pid not in ids:
+                    raise ObservabilityError(
+                        f"pareto group {group!r} references unknown "
+                        f"point {pid!r}"
+                    )
+        tables = _require(dse, "tables", dict)
+        for name in ("latency", "energy", "area"):
+            if name not in tables:
+                raise ObservabilityError(
+                    f"dse tables section is missing table {name!r}"
+                )
+            if not isinstance(tables[name], list):
+                raise ObservabilityError(
+                    f"dse table {name!r} must be a list of rows"
+                )
+        _require(dse, "baselines", dict)
     else:
         workloads = _require(doc, "workloads", dict)
         for name, workload in workloads.items():
@@ -244,6 +314,7 @@ def validate_report(doc: Mapping[str, object]) -> None:
 __all__ = [
     "REPORT_KINDS",
     "SCHEMA",
+    "build_dse_report",
     "build_fleet_report",
     "build_serving_report",
     "build_xcheck_report",

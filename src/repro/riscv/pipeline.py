@@ -103,7 +103,12 @@ class PipelineStats:
 
     @classmethod
     def merge_all(cls, stats: Iterable["PipelineStats"]) -> "PipelineStats":
-        """Aggregate many cores' stats into one chip-level total."""
+        """Aggregate many cores' stats into one chip-level total.
+
+        An empty iterable yields all-zero stats (the identity element) —
+        callers summing over a variable number of cores or shards rely
+        on this and must not special-case the empty case.
+        """
         total = cls()
         for s in stats:
             total = total.merge(s)

@@ -363,6 +363,13 @@ class MetricsRegistry:
 
     @classmethod
     def merged(cls, registries: Iterable["MetricsRegistry"]) -> "MetricsRegistry":
+        """Merge many registries into a fresh one.
+
+        An empty iterable yields an empty registry (no metrics, zero
+        everywhere) — callers aggregating a variable shard count (the
+        parallel sweep executor, fleet chip shards) rely on this
+        identity element and must not special-case zero shards.
+        """
         out = cls()
         for r in registries:
             out.merge(r)

@@ -1,0 +1,126 @@
+"""DSEResult: Pareto math, comparison columns, tables, determinism."""
+
+import json
+
+import pytest
+
+from repro.dse.result import (
+    PAPER_REF_CHIP_AREA_MM2,
+    PAPER_REF_RESNET18_LATENCY_MS,
+    DSEResult,
+    PointResult,
+    add_compare_ref,
+    compare_ref,
+    pareto_frontier,
+)
+from repro.dse.spec import DesignPoint, SweepSpec
+
+
+def _point(latency, energy, *, channels=32, network="small_cnn"):
+    dp = DesignPoint(network=network, backend="analytic",
+                     dram_channels=channels)
+    return PointResult(
+        point=dp, status="ok", latency_ms=latency, total_cycles=latency * 1e6,
+        energy_j={"dram": energy}, area_mm2={"cmem": 10.0},
+        average_power_w=1.0, throughput_samples_s=1000.0 / latency,
+        gops_per_watt=10.0,
+    )
+
+
+class TestCompareRef:
+    def test_ratio(self):
+        assert compare_ref(2.0, 4.0) == 0.5
+
+    def test_columns_added_in_place(self):
+        row = {"latency_ms": 10.26}
+        add_compare_ref(row, "latency_ms", PAPER_REF_RESNET18_LATENCY_MS)
+        assert row["latency_ms_ref"] == PAPER_REF_RESNET18_LATENCY_MS
+        assert row["latency_ms_vs_ref"] == pytest.approx(2.0)
+
+
+class TestParetoFrontier:
+    def test_dominated_points_drop(self):
+        a = _point(1.0, 1.0, channels=8)
+        b = _point(2.0, 2.0, channels=16)  # dominated by a
+        c = _point(0.5, 3.0, channels=32)  # faster but hungrier: stays
+        frontier = pareto_frontier([a, b, c])
+        assert [r.point.dram_channels for r in frontier] == [32, 8]
+
+    def test_ties_all_stay(self):
+        a = _point(1.0, 1.0, channels=8)
+        b = _point(1.0, 1.0, channels=16)
+        assert len(pareto_frontier([a, b])) == 2
+
+    def test_non_ok_points_excluded(self):
+        bad = PointResult(point=_point(1.0, 1.0).point, status="infeasible")
+        assert pareto_frontier([bad]) == []
+
+    def test_sorted_by_first_objective(self):
+        points = [_point(float(5 - i), 1.0 + i, channels=2 ** i)
+                  for i in range(4)]
+        frontier = pareto_frontier(points)
+        latencies = [r.latency_ms for r in frontier]
+        assert latencies == sorted(latencies)
+
+
+class TestDSEResult:
+    @pytest.fixture
+    def result(self):
+        spec = SweepSpec(name="t", networks=("small_cnn",),
+                         backends=("analytic",), dram_channels=(8, 16, 32))
+        points = [_point(1.0, 1.0, channels=8),
+                  _point(2.0, 2.0, channels=16),
+                  _point(0.5, 3.0, channels=32)]
+        return DSEResult(spec=spec, points=points, baselines={
+            "small_cnn": {"scalar_cycles": 4e6, "scalar_energy_j": 10.0,
+                          "neural_cache_cycles": 2e6,
+                          "neural_cache_energy_j": 5.0, "total_macs": 1e6},
+        })
+
+    def test_pareto_groups_key_shape(self, result):
+        groups = result.pareto_groups()
+        assert list(groups) == ["small_cnn/analytic"]
+        assert len(groups["small_cnn/analytic"]) == 2
+
+    def test_by_id(self, result):
+        pid = result.points[0].point.point_id
+        assert result.by_id(pid) is result.points[0]
+        with pytest.raises(KeyError):
+            result.by_id("nope")
+
+    def test_energy_table_baseline_columns(self, result):
+        rows = result.energy_table()
+        first = rows[0]
+        assert first["energy_gain_vs_scalar"] == pytest.approx(10.0)
+        assert first["speedup_vs_scalar"] == pytest.approx(4.0)
+        assert first["energy_gain_vs_neural_cache"] == pytest.approx(5.0)
+
+    def test_area_table_deduplicates_architectures(self, result):
+        # Three points, three distinct channel counts -> three archs.
+        rows = result.area_table()
+        assert len(rows) == 3
+        for row in rows:
+            assert row["total_mm2_ref"] == PAPER_REF_CHIP_AREA_MM2
+
+    def test_as_dict_counts_every_point(self, result):
+        doc = result.as_dict()
+        assert doc["counts"]["ok"] == 3
+        assert len(doc["points"]) == 3
+
+    def test_to_json_deterministic(self, result):
+        assert result.to_json() == result.to_json()
+        json.loads(result.to_json())  # valid JSON
+
+    def test_non_ok_points_keep_their_rows(self):
+        spec = SweepSpec(name="t", networks=("small_cnn",),
+                         backends=("analytic",))
+        ok = _point(1.0, 1.0)
+        bad = PointResult(point=ok.point, status="rejected",
+                          detail="x", findings=("PLAN601",))
+        result = DSEResult(spec=spec, points=[ok, bad])
+        doc = result.as_dict()
+        assert doc["counts"] == {"ok": 1, "infeasible": 0,
+                                 "rejected": 1, "error": 0}
+        statuses = [p["status"] for p in doc["points"]]
+        assert statuses == ["ok", "rejected"]
+        assert doc["points"][1]["findings"] == ["PLAN601"]

@@ -4,6 +4,8 @@ Table 5 is exercised in the benchmark suite (it sweeps 14 cycle-level
 runs); here it is covered by a reduced smoke check only.
 """
 
+import json
+
 import pytest
 
 from repro.experiments import figure9, figure10, table4, table6, table7
@@ -121,3 +123,42 @@ class TestRunner:
 
     def test_formatting_smoke(self, t4):
         assert "Table 4" in format_table(t4)
+
+
+class TestParallelPins:
+    """Sharding an experiment across workers must not change one byte.
+
+    The drivers are thin SweepSpec/grid instances over the shared sweep
+    executor; the executor's order-preserving fork pool is what makes
+    ``workers=N`` a pure throughput knob.
+    """
+
+    def test_table4_parallel_byte_identical(self, t4):
+        parallel = table4.run(workers=2)
+        assert format_table(parallel) == format_table(t4)
+
+    def test_table6_parallel_byte_identical(self, t6):
+        parallel = table6.run(workers=2)
+        assert format_table(parallel) == format_table(t6)
+
+    def test_runner_forwards_workers(self, t6):
+        result = run_experiment("table6", workers=2)
+        assert format_table(result) == format_table(t6)
+
+
+class TestAsDict:
+    """The JSON-safe bridge between the pinned tables and obs tooling."""
+
+    def test_as_dict_is_json_serializable_and_complete(self, t4):
+        doc = t4.as_dict()
+        assert set(doc) == {"experiment", "title", "columns", "rows", "notes"}
+        assert doc["experiment"] == "table4"
+        assert doc["columns"] == t4.columns
+        assert len(doc["rows"]) == len(t4.rows)
+        json.dumps(doc)  # raw (live simulation objects) must be excluded
+
+    def test_as_dict_is_deterministic_and_detached(self, t4):
+        a, b = t4.as_dict(), t4.as_dict()
+        assert a == b
+        a["rows"][0]["node"] = "mutated"
+        assert t4.rows[0].get("node") != "mutated"

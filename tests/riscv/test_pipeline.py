@@ -166,6 +166,16 @@ class TestStatsMerge:
         assert a.cycles == 10 and a.category_cycles == {"x": 1}
         assert b.cycles == 5 and b.category_cycles == {"x": 2}
 
+    def test_merge_all_of_nothing_is_all_zero(self):
+        """Zero shards is a legal aggregation input (identity element) —
+        sharding callers must not have to special-case it."""
+        from repro.riscv.pipeline import PipelineStats
+
+        total = PipelineStats.merge_all([])
+        for name in self.COUNTERS:
+            assert getattr(total, name) == 0
+        assert total.category_cycles == {}
+
     def test_merge_all_of_real_runs_equals_sums(self):
         from repro.riscv.pipeline import PipelineStats
 

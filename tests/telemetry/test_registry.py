@@ -187,6 +187,22 @@ class TestMerge:
         total = MetricsRegistry.merged(cores)
         assert total.counters["chip/instructions"].value == 60
 
+    def test_merged_of_nothing_is_an_empty_registry(self):
+        """Zero shards is a legal aggregation input (identity element) —
+        sharding callers must not have to special-case it."""
+        total = MetricsRegistry.merged([])
+        assert total.counters == {}
+        assert total.gauges == {}
+        assert total.histograms == {}
+        assert total.timers == {}
+
+    def test_merged_of_empty_is_identity_under_merge(self):
+        r = MetricsRegistry()
+        r.counter("c").add(5)
+        merged = MetricsRegistry.merged([])
+        merged.merge(r)
+        assert merged.counters["c"].value == 5
+
 
 class TestExport:
     def test_as_tree_nests_by_segment(self):
